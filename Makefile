@@ -1,0 +1,31 @@
+PYTHON ?= python
+
+.PHONY: install test test-fast bench experiments report examples lint-docs clean
+
+install:
+	$(PYTHON) -m pip install -e ".[test]"
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.bench all
+
+report:
+	$(PYTHON) -m repro.bench report
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	find . -type d -name __pycache__ -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis build dist *.egg-info

@@ -1,0 +1,35 @@
+"""Ablation — subset index vs plain list container with identical merging.
+
+Isolates the contribution of the subset-query index (Algorithms 2-4) from
+that of the Merge pruning (Algorithm 1): both variants run the exact same
+merge phase; only the skyline store differs.
+"""
+
+import pytest
+
+from common import BASE_N, workload
+from repro.algorithms.salsa import SaLSa
+from repro.algorithms.sdi import SDI
+from repro.algorithms.sfs import SFS
+from repro.core.boost import SubsetBoost
+from repro.stats.counters import DominanceCounter
+
+_HOSTS = {"sfs": SFS, "salsa": SaLSa, "sdi": SDI}
+
+
+@pytest.mark.parametrize("container", ["list", "subset"])
+@pytest.mark.parametrize("host", sorted(_HOSTS))
+@pytest.mark.parametrize("kind", ["AC", "UI"])
+def test_ablation_container(benchmark, kind, host, container):
+    dataset = workload(kind, BASE_N, 8)
+    algo = SubsetBoost(_HOSTS[host](), container=container)
+    state = {}
+
+    def run():
+        counter = DominanceCounter()
+        result = algo.compute(dataset, counter=counter)
+        state["dt"] = counter.tests / dataset.cardinality
+        return result
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["mean_dominance_tests"] = round(state["dt"], 4)

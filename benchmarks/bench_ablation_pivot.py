@@ -1,0 +1,26 @@
+"""Ablation — Merge pivot scoring: Euclidean (the paper) vs sum vs maxmin."""
+
+import pytest
+
+from common import BASE_N, workload
+from repro.algorithms.sdi import SDI
+from repro.core.boost import SubsetBoost
+from repro.core.merge import PIVOT_STRATEGIES
+from repro.stats.counters import DominanceCounter
+
+
+@pytest.mark.parametrize("strategy", PIVOT_STRATEGIES)
+@pytest.mark.parametrize("kind", ["AC", "CO", "UI"])
+def test_ablation_pivot_strategy(benchmark, kind, strategy):
+    dataset = workload(kind, BASE_N, 8)
+    algo = SubsetBoost(SDI(), pivot_strategy=strategy)
+    state = {}
+
+    def run():
+        counter = DominanceCounter()
+        result = algo.compute(dataset, counter=counter)
+        state["dt"] = counter.tests / dataset.cardinality
+        return result
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["mean_dominance_tests"] = round(state["dt"], 4)

@@ -1,0 +1,30 @@
+"""Ablation — the σ = round(d/3) heuristic vs the autotuned threshold.
+
+Section 6.1 fixes σ = d/3 after a manual sweep; Section 7 asks for a cost
+model.  This bench times SDI-Subset under the heuristic, an autotuned σ,
+and the worst fixed σ, so the heuristic's adequacy is visible.
+"""
+
+import pytest
+
+from common import BASE_N, run_skyline_benchmark, workload
+from repro.algorithms.sdi import SDI
+from repro.core.autotune import tune_sigma
+
+
+@pytest.mark.parametrize("kind", ["AC", "CO", "UI"])
+def test_ablation_heuristic_sigma(benchmark, kind):
+    run_skyline_benchmark(benchmark, workload(kind, BASE_N, 8), "sdi-subset", sigma=3)
+
+
+@pytest.mark.parametrize("kind", ["AC", "CO", "UI"])
+def test_ablation_autotuned_sigma(benchmark, kind):
+    dataset = workload(kind, BASE_N, 8)
+    choice = tune_sigma(dataset, SDI(), sample_size=min(BASE_N, 500), seed=0)
+    run_skyline_benchmark(benchmark, dataset, "sdi-subset", sigma=choice.sigma)
+    benchmark.extra_info["tuned_sigma"] = choice.sigma
+
+
+@pytest.mark.parametrize("kind", ["AC", "CO", "UI"])
+def test_ablation_max_sigma(benchmark, kind):
+    run_skyline_benchmark(benchmark, workload(kind, BASE_N, 8), "sdi-subset", sigma=8)

@@ -1,0 +1,13 @@
+"""Ablation — SFS sort functions (the §2 'heuristic that heavily affects DT')."""
+
+import pytest
+
+from common import BASE_N, run_skyline_benchmark, workload
+
+
+@pytest.mark.parametrize("function", ["entropy", "sum", "euclidean", "minc"])
+@pytest.mark.parametrize("kind", ["AC", "CO", "UI"])
+def test_ablation_sfs_sort_function(benchmark, kind, function):
+    run_skyline_benchmark(
+        benchmark, workload(kind, BASE_N, 8), "sfs", sort_function=function
+    )

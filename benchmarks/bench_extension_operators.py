@@ -1,0 +1,113 @@
+"""Benchmarks for the extension operators (beyond the paper's tables).
+
+Covers the Section 7 perspectives and the adjacent operators shipped with
+the library: streaming maintenance throughput, k-skyband, top-k dominating
+and the parallel two-phase skyline.
+"""
+
+import numpy as np
+import pytest
+
+from common import BASE_N, workload
+from repro.extensions.parallel import parallel_skyline
+from repro.extensions.skyband import skyband
+from repro.extensions.streaming import StreamingSkyline
+from repro.extensions.topk import top_k_dominating
+
+
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_skyband(benchmark, k):
+    dataset = workload("UI", BASE_N, 6)
+    result = benchmark.pedantic(
+        lambda: skyband(dataset, k=k), rounds=3, iterations=1
+    )
+    benchmark.extra_info["band_size"] = len(result)
+
+
+@pytest.mark.parametrize("k", [5, 25])
+def test_top_k_dominating(benchmark, k):
+    dataset = workload("UI", BASE_N, 4)
+    result = benchmark.pedantic(
+        lambda: top_k_dominating(dataset, k=k), rounds=3, iterations=1
+    )
+    benchmark.extra_info["top_score"] = result[0][1]
+
+
+@pytest.mark.parametrize("kind", ["CO", "UI"])
+def test_streaming_insert_throughput(benchmark, kind):
+    dataset = workload(kind, BASE_N, 4)
+    values = dataset.values
+
+    def run():
+        sky = StreamingSkyline(d=4, anchors=6)
+        for row in values:
+            sky.insert(row)
+        return len(sky.skyline_ids())
+
+    size = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["skyline_size"] = size
+
+
+def test_streaming_sliding_window(benchmark):
+    dataset = workload("UI", BASE_N, 4)
+    values = dataset.values
+    window = BASE_N // 4
+
+    def run():
+        sky = StreamingSkyline(d=4, anchors=6)
+        live: list[int] = []
+        for row in values:
+            if len(live) == window:
+                sky.delete(live.pop(0))
+            live.append(sky.insert(row))
+        return len(sky.skyline_ids())
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_partial_order_skyline(benchmark):
+    from repro.extensions.partialorder import PartialOrder, partial_order_skyline
+
+    rng = np.random.default_rng(0)
+    sizes = PartialOrder([("S", "M"), ("M", "L"), ("M", "XL")])
+    labels = ["S", "M", "L", "XL"]
+    rows = [
+        (float(rng.random()), float(rng.random()), labels[rng.integers(0, 4)])
+        for _ in range(BASE_N // 2)
+    ]
+    result = benchmark.pedantic(
+        lambda: partial_order_skyline(rows, {2: sizes}), rounds=3, iterations=1
+    )
+    benchmark.extra_info["skyline_size"] = len(result)
+
+
+@pytest.mark.parametrize("memory_pages", [2, 8, 64])
+def test_external_bnl_io(benchmark, memory_pages):
+    from repro.algorithms.external import ExternalBNL
+    from repro.stats.counters import DominanceCounter
+
+    dataset = workload("UI", BASE_N, 4)
+    algo = ExternalBNL(page_size=64, memory_pages=memory_pages)
+    state = {}
+
+    def run():
+        counter = DominanceCounter()
+        result = algo.compute(dataset, counter=counter)
+        state["reads"] = counter.extras["page_reads"]
+        state["writes"] = counter.extras["page_writes"]
+        return result
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["page_reads"] = state["reads"]
+    benchmark.extra_info["page_writes"] = state["writes"]
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_parallel_skyline(benchmark, workers):
+    dataset = workload("UI", 4 * BASE_N, 6)
+    result = benchmark.pedantic(
+        lambda: parallel_skyline(dataset, workers=workers),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["skyline_size"] = int(np.asarray(result).shape[0])

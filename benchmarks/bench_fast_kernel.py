@@ -1,0 +1,35 @@
+"""Benchmark the accounting-free fast kernel against the counting paths.
+
+Positions `repro.fast_skyline` (docs in `repro/fast.py`): it wins big over
+per-point counting scans when skylines are small relative to N (real-world
+correlated data) and cedes to the subset-boosted algorithms on huge-skyline
+regimes.
+"""
+
+import pytest
+
+from common import BASE_N, run_skyline_benchmark, workload
+from repro.data import house
+from repro.fast import fast_skyline
+
+
+@pytest.mark.parametrize("kind", ["CO", "UI"])
+def test_fast_kernel_synthetic(benchmark, kind):
+    dataset = workload(kind, 4 * BASE_N, 8)
+    result = benchmark.pedantic(
+        lambda: fast_skyline(dataset), rounds=3, iterations=1
+    )
+    benchmark.extra_info["skyline_size"] = int(result.shape[0])
+
+
+def test_fast_kernel_house(benchmark):
+    dataset = house(4 * BASE_N, seed=0)
+    result = benchmark.pedantic(
+        lambda: fast_skyline(dataset), rounds=3, iterations=1
+    )
+    benchmark.extra_info["skyline_size"] = int(result.shape[0])
+
+
+@pytest.mark.parametrize("algorithm", ["sfs", "sdi-subset"])
+def test_counting_reference_house(benchmark, algorithm):
+    run_skyline_benchmark(benchmark, house(4 * BASE_N, seed=0), algorithm)

@@ -1,0 +1,31 @@
+"""Figure 2 — point distribution vs subspace size for a single pivot.
+
+Benchmarks the single-pivot dominating-subspace pass and records the
+per-size histogram; the shape (mass in small sizes, far from 2^d) is the
+paper's motivation for merging multiple pivots.
+"""
+
+import numpy as np
+import pytest
+
+from common import BASE_N, workload
+from repro.dominance import dominating_subspaces
+
+
+@pytest.mark.parametrize("kind", ["AC", "CO", "UI"])
+def test_fig2_single_pivot_distribution(benchmark, kind):
+    dataset = workload(kind, BASE_N, 8)
+    values = dataset.values
+    state = {}
+
+    def run():
+        shifted = values - values.min(axis=0)
+        pivot = int(np.argmin(np.einsum("ij,ij->i", shifted, shifted)))
+        rest = np.delete(np.arange(values.shape[0]), pivot)
+        masks = dominating_subspaces(values[rest], values[pivot])
+        masks = masks[masks != 0]
+        state["histogram"] = np.bincount(np.bitwise_count(masks), minlength=9)[1:9]
+        return state["histogram"]
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["histogram"] = [int(v) for v in state["histogram"]]

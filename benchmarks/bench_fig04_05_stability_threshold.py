@@ -1,0 +1,12 @@
+"""Figures 4 & 5 — DT and RT of boosted algorithms vs stability threshold σ."""
+
+import pytest
+
+from common import BASE_N, run_skyline_benchmark, workload
+
+
+@pytest.mark.parametrize("sigma", [2, 3, 5, 8])
+@pytest.mark.parametrize("host", ["sfs-subset", "salsa-subset", "sdi-subset"])
+@pytest.mark.parametrize("kind", ["AC", "CO", "UI"])
+def test_fig4_5_sigma_sweep(benchmark, kind, host, sigma):
+    run_skyline_benchmark(benchmark, workload(kind, BASE_N, 8), host, sigma=sigma)

@@ -1,0 +1,29 @@
+"""Figure 6 — point distribution vs subspace size after Merge with σ = 3.
+
+Compared with Figure 2's single-pivot histogram: merging distributes AC
+points into high subspace sizes while CO/UI stay low — the behaviour the
+paper uses to explain the per-regime results.
+"""
+
+import numpy as np
+import pytest
+
+from common import BASE_N, workload
+from repro.core.merge import merge
+
+
+@pytest.mark.parametrize("kind", ["AC", "CO", "UI"])
+def test_fig6_sigma3_distribution(benchmark, kind):
+    dataset = workload(kind, BASE_N, 8)
+    state = {}
+
+    def run():
+        merged = merge(dataset, sigma=3)
+        hist = np.bincount(np.bitwise_count(merged.masks), minlength=9)[1:9]
+        state["histogram"] = hist
+        state["pivots"] = len(merged.pivot_ids)
+        return hist
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["histogram"] = [int(v) for v in state["histogram"]]
+    benchmark.extra_info["pivots"] = state["pivots"]

@@ -1,0 +1,22 @@
+"""Table 1 — skyline sizes of the synthetic datasets.
+
+Benchmarks the SDI skyline computation per regime and records the skyline
+size; the recorded ``skyline_size`` series reproduces Table 1's shape
+(AC >> UI >> CO, growth with d and N).
+"""
+
+import pytest
+
+from common import BASE_N, run_skyline_benchmark, workload
+
+
+@pytest.mark.parametrize("d", [2, 4, 8, 12])
+@pytest.mark.parametrize("kind", ["AC", "CO", "UI"])
+def test_table1_dimensionality(benchmark, kind, d):
+    run_skyline_benchmark(benchmark, workload(kind, BASE_N, d), "sdi")
+
+
+@pytest.mark.parametrize("n", [BASE_N, 2 * BASE_N])
+@pytest.mark.parametrize("kind", ["AC", "CO", "UI"])
+def test_table1_cardinality(benchmark, kind, n):
+    run_skyline_benchmark(benchmark, workload(kind, n, 8), "sdi")

@@ -1,0 +1,16 @@
+"""Tables 2 & 3 — DT and RT on AC data vs dimensionality.
+
+Each benchmark is one (algorithm, d) cell of the paper's AC dimensionality
+sweep at scaled cardinality; RT is the benchmark timing, DT lands in
+``extra_info``.
+"""
+
+import pytest
+
+from common import ALGORITHMS, BASE_N, run_skyline_benchmark, workload
+
+
+@pytest.mark.parametrize("d", [4, 8])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_table2_3_ac(benchmark, algorithm, d):
+    run_skyline_benchmark(benchmark, workload("AC", BASE_N, d), algorithm)

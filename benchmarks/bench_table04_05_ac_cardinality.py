@@ -1,0 +1,11 @@
+"""Tables 4 & 5 — DT and RT on AC data vs cardinality (8-D)."""
+
+import pytest
+
+from common import ALGORITHMS, BASE_N, run_skyline_benchmark, workload
+
+
+@pytest.mark.parametrize("n", [BASE_N, 2 * BASE_N])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_table4_5_ac(benchmark, algorithm, n):
+    run_skyline_benchmark(benchmark, workload("AC", n, 8), algorithm)

@@ -1,0 +1,11 @@
+"""Tables 6 & 7 — DT and RT on CO data vs dimensionality."""
+
+import pytest
+
+from common import ALGORITHMS, BASE_N, run_skyline_benchmark, workload
+
+
+@pytest.mark.parametrize("d", [4, 8])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_table6_7_co(benchmark, algorithm, d):
+    run_skyline_benchmark(benchmark, workload("CO", BASE_N, d), algorithm)

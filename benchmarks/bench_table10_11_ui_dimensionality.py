@@ -1,0 +1,16 @@
+"""Tables 10 & 11 — DT and RT on UI data vs dimensionality.
+
+The paper's headline result lives here: from 8-D upward, SDI-Subset beats
+BSkyTree-P on uniform independent data.  Compare the ``sdi-subset`` and
+``bskytree-p`` rows.
+"""
+
+import pytest
+
+from common import ALGORITHMS, BASE_N, run_skyline_benchmark, workload
+
+
+@pytest.mark.parametrize("d", [4, 8])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_table10_11_ui(benchmark, algorithm, d):
+    run_skyline_benchmark(benchmark, workload("UI", BASE_N, d), algorithm)

@@ -1,0 +1,11 @@
+"""Tables 12 & 13 — DT and RT on UI data vs cardinality (8-D)."""
+
+import pytest
+
+from common import ALGORITHMS, BASE_N, run_skyline_benchmark, workload
+
+
+@pytest.mark.parametrize("n", [BASE_N, 2 * BASE_N])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_table12_13_ui(benchmark, algorithm, n):
+    run_skyline_benchmark(benchmark, workload("UI", n, 8), algorithm)

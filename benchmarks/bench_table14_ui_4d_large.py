@@ -1,0 +1,15 @@
+"""Table 14 — the 4-D UI crossover at large cardinality.
+
+The paper shows that at 1M 4-D UI points every boosted method beats both
+BSkyTree variants; this scaled version uses 5x the base cardinality so the
+low-dimensional crossover is visible in the timings.
+"""
+
+import pytest
+
+from common import ALGORITHMS, BASE_N, run_skyline_benchmark, workload
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_table14_ui_4d(benchmark, algorithm):
+    run_skyline_benchmark(benchmark, workload("UI", 5 * BASE_N, 4), algorithm)

@@ -1,0 +1,14 @@
+"""Table 15 — the HOUSE dataset (6-D anti-correlated, σ = 4)."""
+
+import pytest
+
+from common import ALGORITHMS, BASE_N, run_skyline_benchmark
+from repro.data import house
+
+_DATASET = house(2 * BASE_N, seed=0)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_table15_house(benchmark, algorithm):
+    sigma = 4 if algorithm.endswith("-subset") else None
+    run_skyline_benchmark(benchmark, _DATASET, algorithm, sigma=sigma)

@@ -1,0 +1,14 @@
+"""Table 16 — the NBA dataset (8-D correlated, small, σ = 2)."""
+
+import pytest
+
+from common import ALGORITHMS, BASE_N, run_skyline_benchmark
+from repro.data import nba
+
+_DATASET = nba(2 * BASE_N, seed=0)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_table16_nba(benchmark, algorithm):
+    sigma = 2 if algorithm.endswith("-subset") else None
+    run_skyline_benchmark(benchmark, _DATASET, algorithm, sigma=sigma)

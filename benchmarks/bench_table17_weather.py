@@ -1,0 +1,14 @@
+"""Table 17 — the WEATHER dataset (15-D, duplicate-heavy, σ = 3)."""
+
+import pytest
+
+from common import ALGORITHMS, BASE_N, run_skyline_benchmark
+from repro.data import weather
+
+_DATASET = weather(2 * BASE_N, seed=0)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_table17_weather(benchmark, algorithm):
+    sigma = 3 if algorithm.endswith("-subset") else None
+    run_skyline_benchmark(benchmark, _DATASET, algorithm, sigma=sigma)

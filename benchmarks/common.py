@@ -1,0 +1,63 @@
+"""Shared helpers for the pytest-benchmark suite.
+
+Every benchmark measures the wall-clock of one algorithm on one workload
+(the paper's RT metric) and records the exact dominance-test count and
+skyline size in ``extra_info`` (the paper's DT metric).  Workload sizes are
+scaled way down from the paper's grids so the whole suite runs in minutes;
+set ``REPRO_BENCH_N`` to raise the base cardinality, or use
+``python -m repro.bench <table> --full`` for the paper's actual grid.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.algorithms.registry import get_algorithm
+from repro.data import generate
+from repro.dataset import Dataset
+from repro.stats.counters import DominanceCounter
+
+#: Base cardinality standing in for the paper's 200K (dim sweeps).
+BASE_N = int(os.environ.get("REPRO_BENCH_N", "1000"))
+
+#: The paper's table line-up.
+ALGORITHMS = (
+    "sfs",
+    "sfs-subset",
+    "salsa",
+    "salsa-subset",
+    "sdi",
+    "sdi-subset",
+    "bskytree-s",
+    "bskytree-p",
+)
+
+_cache: dict[tuple, Dataset] = {}
+
+
+def workload(kind: str, n: int, d: int, seed: int = 0) -> Dataset:
+    """Memoised synthetic dataset (generation stays out of the timings)."""
+    key = (kind, n, d, seed)
+    if key not in _cache:
+        _cache[key] = generate(kind, n, d, seed=seed)
+    return _cache[key]
+
+
+def run_skyline_benchmark(benchmark, dataset: Dataset, algorithm: str, sigma=None, **kwargs):
+    """Benchmark one algorithm; stash DT / skyline size in extra_info."""
+    instance = get_algorithm(algorithm, sigma=sigma, **kwargs)
+    state: dict[str, float] = {}
+
+    def run():
+        counter = DominanceCounter()
+        result = instance.compute(dataset, counter=counter)
+        state["dt"] = counter.tests / dataset.cardinality
+        state["skyline"] = result.size
+        return result
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["mean_dominance_tests"] = round(state["dt"], 4)
+    benchmark.extra_info["skyline_size"] = state["skyline"]
+    benchmark.extra_info["cardinality"] = dataset.cardinality
+    benchmark.extra_info["dimensionality"] = dataset.dimensionality
+    return result

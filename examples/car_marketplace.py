@@ -1,0 +1,76 @@
+"""A used-car marketplace: declarative queries, skybands and top-k picks.
+
+Shows the library's higher-level operators on one realistic catalogue:
+
+- `SkylineQuery` — named columns, mixed min/max directions and range
+  constraints ("under 15k EUR, newer than 2015");
+- `skyband` — the "almost-pareto" listings worth showing on page two;
+- `top_k_dominating` — the k listings that beat the most other listings,
+  a ranking with no hand-tuned scoring function.
+
+Run:  python examples/car_marketplace.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SkylineQuery
+from repro.dataset import Dataset
+from repro.extensions import skyband, top_k_dominating
+
+COLUMNS = ("price", "mileage", "year", "power")
+
+
+def make_catalogue(n: int = 5000, seed: int = 13) -> Dataset:
+    rng = np.random.default_rng(seed)
+    year = rng.integers(2005, 2025, n).astype(float)
+    age = 2025 - year
+    mileage = np.clip(age * rng.normal(14_000, 4_000, n), 0, None)
+    power = np.clip(rng.normal(120, 40, n), 45, 400)
+    price = np.clip(
+        28_000 * np.exp(-0.11 * age) + 30 * power + rng.normal(0, 1800, n), 500, None
+    )
+    values = np.column_stack([price, mileage, year, power])
+    return Dataset(values, name="used-cars", columns=COLUMNS)
+
+
+def main() -> None:
+    cars = make_catalogue()
+    print(f"catalogue: {cars.describe()}\n")
+
+    query = (
+        SkylineQuery()
+        .minimize("price", "mileage")
+        .maximize("year", "power")
+        .where("price", max_value=15_000)
+        .where("year", min_value=2015)
+    )
+    result = query.execute(cars, algorithm="sdi-subset")
+    print(f"constrained skyline (<=15k EUR, >=2015): {result.size} cars")
+    for car_id in result.indices[:6]:
+        price, mileage, year, power = cars.values[car_id]
+        print(
+            f"  car-{car_id:04d}: {price:7.0f} EUR, {mileage:7.0f} km, "
+            f"{year:.0f}, {power:3.0f} hp"
+        )
+
+    # Page two: listings dominated by at most one other car.  The skyband
+    # works in the minimisation convention, so flip max-is-better columns.
+    prefs = cars.minimizing([2, 3])
+    band = skyband(prefs, k=2)
+    only_sky = [pid for pid, count in band.items() if count == 0]
+    near_sky = [pid for pid, count in band.items() if count == 1]
+    print(f"\n2-skyband: {len(only_sky)} pareto cars + {len(near_sky)} near-misses")
+
+    print("\ntop 5 most-dominating listings (best overall value):")
+    for car_id, score in top_k_dominating(prefs, k=5):
+        price, mileage, year, power = cars.values[car_id]
+        print(
+            f"  car-{car_id:04d} dominates {score:4d} others: "
+            f"{price:7.0f} EUR, {mileage:7.0f} km, {year:.0f}, {power:3.0f} hp"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Live skyline over a stream of server offers (the §7 streaming extension).
+
+A load balancer watches offers arriving from edge servers, each with a
+price, a latency and a load factor.  It keeps only the *current* pareto
+frontier under a sliding window: expired offers are deleted, new ones
+inserted, and the skyline updates incrementally — no batch recomputation.
+
+Run:  python examples/streaming_offers.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.extensions import StreamingSkyline
+
+WINDOW = 400
+
+
+def offer_stream(n: int, seed: int = 11):
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        price = rng.gamma(3.0, 2.0)
+        latency = rng.gamma(2.0, 8.0)
+        load = rng.random()
+        yield [price, latency, load]
+
+
+def main() -> None:
+    sky = StreamingSkyline(d=3, anchors=8)
+    window: list[int] = []
+
+    print(f"sliding window of {WINDOW} offers (price, latency, load)\n")
+    for step, offer in enumerate(offer_stream(3000)):
+        if len(window) == WINDOW:
+            sky.delete(window.pop(0))
+        window.append(sky.insert(offer))
+        if (step + 1) % 500 == 0:
+            frontier = sky.skyline_points()
+            cheapest = frontier[:, 0].min()
+            fastest = frontier[:, 1].min()
+            print(
+                f"after {step + 1:5d} offers: frontier={len(frontier):3d} "
+                f"| cheapest={cheapest:5.2f} | fastest={fastest:5.1f} ms "
+                f"| lifetime dominance tests={sky.counter.tests}"
+            )
+
+    print("\nfinal pareto frontier (first 5 offers):")
+    for row in sky.skyline_points()[:5]:
+        print(f"  price={row[0]:5.2f}  latency={row[1]:5.1f} ms  load={row[2]:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Mixed-domain, disk-resident catalogue: partial orders + external memory.
+
+A warehouse catalogue where one attribute is *partially ordered* (packaging
+quality grades form a DAG, not a line) and the table is too large for the
+buffer pool, so the skyline must run in external-memory discipline:
+
+1. `partial_order_skyline` handles the mixed numeric/DAG dominance —
+   the ZINC setting the reproduced paper scopes out and this library adds;
+2. `ExternalBNL` computes a numeric skyline under a tight page budget and
+   reports the page I/O the classic external analyses count.
+
+Run:  python examples/warehouse_catalog.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.extensions import PartialOrder, partial_order_skyline
+from repro.stats.counters import DominanceCounter
+
+# Packaging grades: "sealed" beats both "boxed" and "shrinkwrap", which are
+# mutually incomparable; "loose" is worse than either.
+GRADES = PartialOrder(
+    [("sealed", "boxed"), ("sealed", "shrinkwrap"), ("boxed", "loose"),
+     ("shrinkwrap", "loose")]
+)
+
+
+def make_catalogue(n: int = 3000, seed: int = 21):
+    rng = np.random.default_rng(seed)
+    price = rng.gamma(4.0, 12.0, n)
+    lead_days = rng.integers(1, 30, n).astype(float)
+    grades = np.array(GRADES.domain)[rng.integers(0, 4, n)]
+    return [
+        (float(price[i]), float(lead_days[i]), str(grades[i])) for i in range(n)
+    ]
+
+
+def main() -> None:
+    rows = make_catalogue()
+    print(f"catalogue: {len(rows)} items (price, lead time, packaging grade)\n")
+
+    counter = DominanceCounter()
+    sky = partial_order_skyline(rows, orders={2: GRADES}, counter=counter)
+    print(f"mixed-domain skyline: {len(sky)} items "
+          f"({counter.tests} dominance tests)")
+    for item in sky[:6]:
+        price, lead, grade = rows[item]
+        print(f"  item-{item:04d}: {price:6.2f} EUR, {lead:4.0f} days, {grade}")
+
+    # Numeric-only view under a tight buffer pool: 2 pages of 64 rows.
+    numeric = np.array([row[:2] for row in rows])
+    counter = DominanceCounter()
+    result = repro.skyline(
+        numeric, algorithm="external-bnl", counter=counter,
+        page_size=64, memory_pages=2,
+    )
+    print(
+        f"\nexternal BNL (numeric dims, 2-page buffer pool): "
+        f"{result.size} items in the skyline"
+    )
+    print(
+        f"  page I/O: {counter.extras['page_reads']:.0f} reads, "
+        f"{counter.extras['page_writes']:.0f} writes, "
+        f"{counter.tests} dominance tests"
+    )
+
+
+if __name__ == "__main__":
+    main()

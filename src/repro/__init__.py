@@ -1,0 +1,80 @@
+"""repro — Subset Approach to Efficient Skyline Computation (EDBT 2023).
+
+A full reproduction of Dominique H. Li's subset approach: the subspace-union
+Merge pass, the map-based subset-query skyline index, and the boosted
+sorting-based skyline algorithms (SFS-Subset, SaLSa-Subset, SDI-Subset), plus
+every baseline the paper evaluates against (BSkyTree-S/P, BNL, D&C, Index,
+BBS, ...) and the AC/CO/UI workload generators.
+
+Quickstart
+----------
+>>> import repro
+>>> data = repro.generate("UI", n=2000, d=6, seed=42)
+>>> result = repro.skyline(data, algorithm="sdi-subset")
+>>> result.size > 0 and result.mean_dominance_tests > 0
+True
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import available_algorithms, get_algorithm
+from repro.algorithms.base import SkylineResult
+from repro.core import SkylineIndex, SubsetBoost, merge
+from repro.core.autotune import tune_sigma
+from repro.data import generate
+from repro.dataset import Dataset
+from repro.errors import ReproError
+from repro.fast import fast_skyline
+from repro.query import SkylineQuery
+from repro.stats.counters import DominanceCounter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataset",
+    "DominanceCounter",
+    "ReproError",
+    "SkylineIndex",
+    "SkylineQuery",
+    "SkylineResult",
+    "SubsetBoost",
+    "available_algorithms",
+    "fast_skyline",
+    "generate",
+    "get_algorithm",
+    "merge",
+    "skyline",
+    "tune_sigma",
+    "__version__",
+]
+
+
+def skyline(
+    data: "Dataset | np.ndarray",
+    algorithm: str = "sdi-subset",
+    sigma: int | None = None,
+    counter: DominanceCounter | None = None,
+    **kwargs,
+) -> SkylineResult:
+    """Compute the skyline of ``data`` with the named algorithm.
+
+    Parameters
+    ----------
+    data:
+        A :class:`Dataset` or any ``(n, d)`` array-like; minimisation
+        preference in every dimension.
+    algorithm:
+        Registry name; see :func:`available_algorithms`.
+    sigma:
+        Stability threshold for ``*-subset`` algorithms.
+    counter:
+        Optional :class:`DominanceCounter` to accumulate instrumentation.
+
+    Returns
+    -------
+    SkylineResult
+        Sorted skyline row indices plus exact dominance-test accounting.
+    """
+    return get_algorithm(algorithm, sigma=sigma, **kwargs).compute(data, counter=counter)

@@ -1,0 +1,46 @@
+"""Skyline algorithms: sorting-based hosts, partitioning-based baselines.
+
+Use :func:`repro.algorithms.registry.get_algorithm` (or the top-level
+:func:`repro.skyline`) to obtain instances by name; the classes are also
+importable directly for programmatic composition.
+"""
+
+from repro.algorithms.base import SkylineAlgorithm, SkylineResult, SortScanAlgorithm
+from repro.algorithms.bbs import BBS
+from repro.algorithms.bnl import BNL
+from repro.algorithms.bruteforce import BruteForce
+from repro.algorithms.bskytree import BSkyTreeP, BSkyTreeS
+from repro.algorithms.dnc import DivideAndConquer
+from repro.algorithms.external import ExternalBNL
+from repro.algorithms.index_tree import IndexSkyline
+from repro.algorithms.less import LESS
+from repro.algorithms.registry import available_algorithms, get_algorithm
+from repro.algorithms.salsa import SaLSa
+from repro.algorithms.sdi import SDI
+from repro.algorithms.sfs import SFS
+from repro.algorithms.sskyline import SSkyline
+from repro.algorithms.zorder_scan import ZOrderScan
+from repro.algorithms.zsearch import ZSearch
+
+__all__ = [
+    "BBS",
+    "BNL",
+    "BSkyTreeP",
+    "BSkyTreeS",
+    "BruteForce",
+    "DivideAndConquer",
+    "ExternalBNL",
+    "IndexSkyline",
+    "LESS",
+    "SDI",
+    "SFS",
+    "SSkyline",
+    "SaLSa",
+    "SkylineAlgorithm",
+    "SkylineResult",
+    "SortScanAlgorithm",
+    "ZOrderScan",
+    "ZSearch",
+    "available_algorithms",
+    "get_algorithm",
+]

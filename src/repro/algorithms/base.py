@@ -1,0 +1,191 @@
+"""Algorithm base classes, result type and the shared sort-and-scan template.
+
+Every algorithm exposes ``compute(data, counter=None) -> SkylineResult``.
+Sorting-based algorithms additionally implement the boostable
+``run_phase(dataset, ids, masks, container, counter)`` hook consumed by
+:class:`repro.core.boost.SubsetBoost`: the scan's skyline store is an
+abstract :class:`~repro.core.container.SkylineContainer`, so swapping the
+plain list for the subset index changes nothing else about the algorithm —
+exactly the paper's "container" framing.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.container import ListContainer, SkylineContainer
+from repro.dataset import Dataset, as_dataset
+from repro.dominance import first_dominator
+from repro.stats.counters import DominanceCounter
+
+
+@dataclass(frozen=True)
+class SkylineResult:
+    """The outcome of one skyline computation.
+
+    Attributes
+    ----------
+    indices:
+        Sorted original row ids of the skyline points.
+    algorithm:
+        Name of the algorithm that produced the result.
+    dominance_tests:
+        Exact number of point-pair dominance tests performed.
+    elapsed_seconds:
+        Wall-clock time of the computation.
+    cardinality:
+        Dataset size ``N`` (denominator of the mean-DT metric).
+    """
+
+    indices: np.ndarray
+    algorithm: str
+    dominance_tests: int
+    elapsed_seconds: float
+    cardinality: int
+    counter: DominanceCounter = field(repr=False, default_factory=DominanceCounter)
+
+    @property
+    def size(self) -> int:
+        """Number of skyline points."""
+        return int(self.indices.shape[0])
+
+    @property
+    def mean_dominance_tests(self) -> float:
+        """The paper's DT metric: total tests / N."""
+        return self.dominance_tests / self.cardinality
+
+    def __contains__(self, point_id: int) -> bool:
+        return bool(np.isin(point_id, self.indices))
+
+
+def run_timed(
+    name: str,
+    data: Dataset | np.ndarray,
+    counter: DominanceCounter | None,
+    body: Callable[[Dataset, DominanceCounter], list[int]],
+) -> SkylineResult:
+    """Shared compute wrapper: coerce input, time the body, package a result."""
+    dataset = as_dataset(data)
+    counter = counter if counter is not None else DominanceCounter()
+    started = time.perf_counter()
+    ids = body(dataset, counter)
+    elapsed = time.perf_counter() - started
+    indices = np.asarray(sorted(set(int(i) for i in ids)), dtype=np.intp)
+    if len(indices) != len(ids):
+        raise AssertionError(f"{name} returned duplicate skyline ids")
+    return SkylineResult(
+        indices=indices,
+        algorithm=name,
+        dominance_tests=counter.tests,
+        elapsed_seconds=elapsed,
+        cardinality=dataset.cardinality,
+        counter=counter,
+    )
+
+
+class SkylineAlgorithm(ABC):
+    """Common interface of every skyline algorithm in the library."""
+
+    name: str = "abstract"
+
+    def compute(
+        self,
+        data: Dataset | np.ndarray,
+        counter: DominanceCounter | None = None,
+    ) -> SkylineResult:
+        """Compute the skyline of ``data`` under minimisation preference."""
+        return run_timed(self.name, data, counter, self._run)
+
+    @abstractmethod
+    def _run(self, dataset: Dataset, counter: DominanceCounter) -> list[int]:
+        """Return the skyline point ids (any order, no duplicates)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def _progressive_scan(algorithm, data, counter):
+    dataset = as_dataset(data)
+    counter = counter if counter is not None else DominanceCounter()
+    ids = np.arange(dataset.cardinality, dtype=np.intp)
+    order = algorithm.sort_ids(dataset.values, ids)
+    container = ListContainer(dataset.values)
+    values = dataset.values
+    for point_id in order:
+        point_id = int(point_id)
+        _, block = container.candidates(0)
+        if first_dominator(block, values[point_id], counter) == -1:
+            container.add(point_id, 0)
+            yield point_id
+
+
+class _ProgressiveMixin:
+    """Progressive (online) skyline output for presorted scans.
+
+    Sorting-based algorithms emit skyline points as they are confirmed —
+    the property §1 highlights ("sorting-based skyline algorithms ... can
+    progressively output the skyline points").  ``progressive`` exposes
+    that as a generator: consume the first ``k`` results without paying
+    for the rest of the scan.
+    """
+
+    def progressive(self, data, counter: DominanceCounter | None = None):
+        """Yield skyline ids in scan order; stop consuming any time.
+
+        Uses the plain presorted scan (no stop-point shortcuts), so the
+        yielded set is always the complete skyline if fully consumed.
+        """
+        return _progressive_scan(self, data, counter)
+
+
+class SortScanAlgorithm(SkylineAlgorithm, _ProgressiveMixin):
+    """Template for presort-and-scan algorithms (SFS, LESS, SaLSa, Z-order).
+
+    Subclasses supply :meth:`sort_ids` (a monotone order: a dominator always
+    precedes the points it dominates) and optionally override
+    :meth:`run_phase` for scans with extra machinery (stop points, EF
+    windows).  The default scan is the SFS loop: test each point against the
+    container's candidates; survivors join the container.
+    """
+
+    def _run(self, dataset: Dataset, counter: DominanceCounter) -> list[int]:
+        ids = np.arange(dataset.cardinality, dtype=np.intp)
+        masks = np.zeros(dataset.cardinality, dtype=np.int64)
+        container = ListContainer(dataset.values)
+        return self.run_phase(dataset, ids, masks, container, counter)
+
+    @abstractmethod
+    def sort_ids(self, values: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        """Return ``ids`` reordered by the algorithm's monotone sort key."""
+
+    def run_phase(
+        self,
+        dataset: Dataset,
+        ids: np.ndarray,
+        masks: np.ndarray,
+        container: SkylineContainer,
+        counter: DominanceCounter,
+    ) -> list[int]:
+        """Presorted scan over ``ids`` using ``container`` as skyline store."""
+        values = dataset.values
+        order = self.sort_ids(values, ids)
+        skyline: list[int] = []
+        for point_id in order:
+            point_id = int(point_id)
+            mask = int(masks[point_id])
+            _, block = container.candidates(mask)
+            if first_dominator(block, values[point_id], counter) == -1:
+                skyline.append(point_id)
+                container.add(point_id, mask)
+        return skyline
+
+
+def monotone_order(keys: np.ndarray, tiebreak: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    """Order ``ids`` by ``(keys, tiebreak)`` ascending via a stable lexsort."""
+    selection = np.lexsort((tiebreak[ids], keys[ids]))
+    return ids[selection]

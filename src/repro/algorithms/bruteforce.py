@@ -1,0 +1,28 @@
+"""The naïve O(dN²) pairwise skyline (Section 1's nested-loop description).
+
+Used as the semantic oracle by the test suite: every other algorithm must
+return exactly this skyline.  Each point is compared against the whole
+dataset with the exact-count block kernel, stopping (in accounting terms) at
+its first dominator.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import SkylineAlgorithm
+from repro.dataset import Dataset
+from repro.dominance import first_dominator
+from repro.stats.counters import DominanceCounter
+
+
+class BruteForce(SkylineAlgorithm):
+    """Nested-loop pairwise comparison; correct, simple, quadratic."""
+
+    name = "bruteforce"
+
+    def _run(self, dataset: Dataset, counter: DominanceCounter) -> list[int]:
+        values = dataset.values
+        skyline: list[int] = []
+        for point_id in range(dataset.cardinality):
+            if first_dominator(values, values[point_id], counter) == -1:
+                skyline.append(point_id)
+        return skyline

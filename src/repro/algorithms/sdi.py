@@ -1,0 +1,118 @@
+"""SDI — Sorted Dimension Indexes skyline (Liu & Li, EDBT 2020).
+
+SDI is the sort-and-scan algorithm the subset approach boosts best.  The
+sort phase builds one sorted index of point ids per dimension; the scan
+phase traverses dimensions breadth-first, always advancing the dimension
+whose *dimension skyline* (the skyline points confirmed through it) is the
+smallest.  Each visited point is tested only against skyline points whose
+value in the current dimension does not exceed its own (the dimension
+skyline prefix), ordered by that value — the cheapest plausible dominators
+first.
+
+Key properties preserved from the original design:
+
+- a point already classified through another dimension is skipped;
+- each per-dimension order breaks value ties with the strictly monotone
+  coordinate sum, so a dominator precedes its dominated points in *every*
+  dimension order — classification is always complete when a point is
+  first visited (this is what makes duplicate-heavy data like WEATHER
+  safe);
+- the point with the minimum Euclidean distance serves as the *stop
+  point*: once every dimension's cursor has passed it strictly, all
+  unvisited points are strictly dominated by it and the scan terminates.
+
+One dominance test is charged per compared skyline point, exactly as a
+sequential early-exit loop would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import SkylineAlgorithm
+from repro.core.container import ListContainer, SkylineContainer
+from repro.dataset import Dataset
+from repro.dominance import first_dominator
+from repro.stats.counters import DominanceCounter
+
+_UNKNOWN, _SKYLINE, _DOMINATED = 0, 1, 2
+
+
+class SDI(SkylineAlgorithm):
+    """Sorted-dimension-index skyline with breadth-first dimension traversal."""
+
+    name = "sdi"
+
+    def _run(self, dataset: Dataset, counter: DominanceCounter) -> list[int]:
+        ids = np.arange(dataset.cardinality, dtype=np.intp)
+        masks = np.zeros(dataset.cardinality, dtype=np.int64)
+        container = ListContainer(dataset.values)
+        return self.run_phase(dataset, ids, masks, container, counter)
+
+    def run_phase(
+        self,
+        dataset: Dataset,
+        ids: np.ndarray,
+        masks: np.ndarray,
+        container: SkylineContainer,
+        counter: DominanceCounter,
+    ) -> list[int]:
+        values = dataset.values
+        d = dataset.dimensionality
+        ids = np.asarray(ids, dtype=np.intp)
+        if ids.size == 0:
+            return []
+        tiebreak = values.sum(axis=1)
+
+        # Sort phase: one index per dimension over the active ids.
+        orders = [
+            ids[np.lexsort((tiebreak[ids], values[ids, dim]))] for dim in range(d)
+        ]
+
+        # Stop point: minimum Euclidean distance to the minimum corner.
+        corner = values[ids].min(axis=0)
+        shifted = values[ids] - corner
+        stop_id = int(ids[np.argmin(np.einsum("ij,ij->i", shifted, shifted))])
+        stop_point = values[stop_id]
+
+        status = np.zeros(dataset.cardinality, dtype=np.int8)
+        cursors = [0] * d
+        dim_sky_count = [0] * d
+        open_dims = set(range(d))
+        skyline: list[int] = []
+
+        while open_dims:
+            dim = min(open_dims, key=lambda k: (dim_sky_count[k], k))
+            order = orders[dim]
+            cursor = cursors[dim]
+            while cursor < order.shape[0] and status[order[cursor]] != _UNKNOWN:
+                cursor += 1
+            if cursor >= order.shape[0]:
+                cursors[dim] = cursor
+                open_dims.discard(dim)
+                continue
+            point_id = int(order[cursor])
+            cursors[dim] = cursor + 1
+            point = values[point_id]
+
+            candidate_ids, block = container.candidates(int(masks[point_id]))
+            if block.shape[0]:
+                prefix = block[:, dim] <= point[dim]
+                block = block[prefix]
+                if block.shape[0]:
+                    block = block[np.argsort(block[:, dim], kind="stable")]
+            if first_dominator(block, point, counter) == -1:
+                status[point_id] = _SKYLINE
+                skyline.append(point_id)
+                container.add(point_id, int(masks[point_id]))
+                dim_sky_count[dim] += 1
+            else:
+                status[point_id] = _DOMINATED
+
+            if point[dim] > stop_point[dim]:
+                # The cursor passed the stop point in this dimension; once
+                # that holds in every dimension, all unvisited points are
+                # strictly worse than the stop point everywhere.
+                open_dims.discard(dim)
+
+        return skyline

@@ -1,0 +1,60 @@
+"""SSkyline — the in-place two-pointer skyline (Park et al.; Chester et al.).
+
+The sequential baseline of the multicore study the paper's real datasets
+come from [6].  SSkyline keeps a shrinking active region of the id array:
+a *head* candidate is compared against a scanning pointer; dominated
+points are swapped behind a tail pointer and forgotten, and when the head
+itself is dominated the scanner's point becomes the new head and the scan
+restarts.  When the scanner passes the tail, the head is a confirmed
+skyline point.
+
+No presorting, no auxiliary structure, O(1) extra memory over the id
+permutation — which is why it parallelises so well in [6].  One dominance
+test is charged per head/scanner pair inspection (both directions of one
+pair count as a single test, as in BNL).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import SkylineAlgorithm
+from repro.dataset import Dataset
+from repro.stats.counters import DominanceCounter
+
+
+class SSkyline(SkylineAlgorithm):
+    """In-place two-pointer skyline without presorting."""
+
+    name = "sskyline"
+
+    def _run(self, dataset: Dataset, counter: DominanceCounter) -> list[int]:
+        values = dataset.values
+        ids = list(range(dataset.cardinality))
+        skyline: list[int] = []
+        tail = len(ids) - 1
+        head_pos = 0
+        while head_pos <= tail:
+            head = ids[head_pos]
+            scan = head_pos + 1
+            while scan <= tail:
+                counter.add()
+                p = values[head]
+                q = values[ids[scan]]
+                if bool(np.all(p <= q)) and bool(np.any(p < q)):
+                    # Head dominates the scanned point: retire it behind tail.
+                    ids[scan], ids[tail] = ids[tail], ids[scan]
+                    tail -= 1
+                elif bool(np.all(q <= p)) and bool(np.any(q < p)):
+                    # Scanned point dominates the head: it becomes the new
+                    # head, the old head retires, and the scan restarts.
+                    ids[head_pos] = ids[scan]
+                    ids[scan], ids[tail] = ids[tail], ids[scan]
+                    tail -= 1
+                    head = ids[head_pos]
+                    scan = head_pos + 1
+                else:
+                    scan += 1
+            skyline.append(head)
+            head_pos += 1
+        return skyline

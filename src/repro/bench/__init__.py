@@ -1,0 +1,19 @@
+"""Benchmark harness reproducing every table and figure of the paper.
+
+Run ``python -m repro.bench list`` for the experiment catalogue and
+``python -m repro.bench table10 [--scale S] [--full]`` to regenerate one
+artefact.  The pytest-benchmark targets under ``benchmarks/`` wrap the same
+experiment functions at reduced scale.
+"""
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.runner import DEFAULT_ALGORITHMS, run_algorithms
+from repro.bench.tables import format_paper_table
+
+__all__ = [
+    "DEFAULT_ALGORITHMS",
+    "EXPERIMENTS",
+    "format_paper_table",
+    "run_algorithms",
+    "run_experiment",
+]

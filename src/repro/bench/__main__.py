@@ -1,0 +1,111 @@
+"""CLI for the benchmark harness: ``python -m repro.bench <experiment>``.
+
+Examples
+--------
+::
+
+    python -m repro.bench list
+    python -m repro.bench table10 --scale 0.05
+    python -m repro.bench all --out results.txt
+    python -m repro.bench table2 --full --repeats 10   # the paper's grid
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.sweep import DEFAULT_SCALE, SweepConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help=(
+            "experiment id (e.g. table10, fig2, ablation_sigma), 'all', "
+            "'list', or 'report' (writes EXPERIMENTS.md)"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=DEFAULT_SCALE,
+        help=f"cardinality scale factor vs the paper's grid (default {DEFAULT_SCALE})",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the paper's full-size grid (hours in pure Python)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="timing repetitions (paper uses 10)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument("--out", default=None, help="also append output to this file")
+    parser.add_argument(
+        "--json",
+        default=None,
+        help="also write the raw measurement data as JSON to this file",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "report":
+        from repro.bench.report import generate_experiments_md
+
+        cfg = SweepConfig(
+            scale=args.scale, full=args.full, repeats=args.repeats, seed=args.seed
+        )
+        document = generate_experiments_md(
+            cfg, progress=lambda name: print(f"running {name} ...", file=sys.stderr)
+        )
+        target = args.out or "EXPERIMENTS.md"
+        with open(target, "w") as handle:
+            handle.write(document)
+        print(f"wrote {target}")
+        return 0
+    if args.experiment == "list":
+        for name, func in EXPERIMENTS.items():
+            doc = (func.__doc__ or "").strip().splitlines()[0] if func.__doc__ else ""
+            print(f"{name:20s} {doc}")
+        return 0
+    cfg = SweepConfig(
+        scale=args.scale, full=args.full, repeats=args.repeats, seed=args.seed
+    )
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    chunks: list[str] = []
+    raw: dict[str, dict] = {}
+    for name in names:
+        started = time.perf_counter()
+        report = run_experiment(name, cfg)
+        elapsed = time.perf_counter() - started
+        chunk = f"{report.text}\n\n[{report.experiment} completed in {elapsed:.1f}s]"
+        print(chunk)
+        print()
+        chunks.append(chunk)
+        raw[report.experiment] = {
+            "title": report.title,
+            "elapsed_seconds": elapsed,
+            "data": report.data,
+        }
+    if args.out:
+        with open(args.out, "a") as handle:
+            handle.write("\n\n".join(chunks) + "\n")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(raw, handle, indent=2, default=str)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Terminal-friendly charts for the paper's figures.
+
+The paper's Figures 2 and 4–6 are plots, not tables; the experiment runner
+reproduces their data exactly and these helpers render it as monospace
+charts so the regenerated artefact *looks* like the figure: multi-series
+line charts (Figures 4/5, one marker per algorithm, optional log y-axis)
+and grouped bar charts (the Figure 2/6 subspace-size histograms).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.errors import InvalidParameterError
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[str],
+    title: str = "",
+    height: int = 10,
+    log_y: bool = False,
+) -> str:
+    """Render one or more equally-sampled series as an ASCII line chart.
+
+    >>> print(line_chart({"a": [1, 3, 2]}, ["x", "y", "z"], height=3))
+                 3 |   o
+                 2 |      o
+                 1 |o
+                   +---------
+                    x  y  z
+                    o=a
+    """
+    if height < 2:
+        raise InvalidParameterError(f"height must be >= 2, got {height}")
+    if not series:
+        raise InvalidParameterError("at least one series is required")
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise InvalidParameterError(
+                f"series {name!r} has {len(values)} points for "
+                f"{len(x_labels)} x labels"
+            )
+
+    def transform(v: float) -> float:
+        if not log_y:
+            return float(v)
+        return math.log10(max(float(v), 1e-12))
+
+    flat = [transform(v) for values in series.values() for v in values]
+    lo, hi = min(flat), max(flat)
+    span = hi - lo if hi > lo else 1.0
+
+    col_width = 3
+    width = len(x_labels) * col_width
+    grid = [[" "] * width for _ in range(height)]
+    for (name, values), marker in zip(series.items(), _MARKERS):
+        for idx, value in enumerate(values):
+            row = height - 1 - round((transform(value) - lo) / span * (height - 1))
+            col = idx * col_width
+            cell = grid[row][col]
+            grid[row][col] = marker if cell == " " else "*"
+
+    def y_label(row: int) -> str:
+        raw = hi - row / (height - 1) * span
+        value = 10**raw if log_y else raw
+        return f"{value:14.4g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        lines.append(f"{y_label(row)} |" + "".join(grid[row]).rstrip())
+    lines.append(" " * 15 + "+" + "-" * width)
+    labels_line = "".join(label[:col_width].ljust(col_width) for label in x_labels)
+    lines.append((" " * 16 + labels_line).rstrip())
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(" " * 16 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    series: Mapping[str, Sequence[int]],
+    title: str = "",
+    width: int = 40,
+    log_x: bool = False,
+) -> str:
+    """Render per-bucket counts as horizontal bars, one block per series.
+
+    >>> print(bar_chart({"AC": [4, 2]}, width=4))
+    AC
+      1 |#### 4
+      2 |##   2
+    """
+    if width < 1:
+        raise InvalidParameterError(f"width must be >= 1, got {width}")
+    if not series:
+        raise InvalidParameterError("at least one series is required")
+    peak = max((max(values) if len(values) else 0) for values in series.values())
+    peak = max(peak, 1)
+
+    def bar_len(v: int) -> int:
+        if v <= 0:
+            return 0
+        if log_x:
+            return max(1, round(math.log10(v + 1) / math.log10(peak + 1) * width))
+        return max(1, round(v / peak * width))
+
+    lines = [title] if title else []
+    for name, values in series.items():
+        lines.append(name)
+        for bucket, value in enumerate(values, start=1):
+            bar = "#" * bar_len(int(value))
+            lines.append(f"{bucket:3d} |{bar.ljust(width)} {int(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,638 @@
+"""One entry point per table and figure of the paper.
+
+Each experiment function takes a :class:`~repro.bench.sweep.SweepConfig` and
+returns an :class:`ExperimentReport` whose ``text`` is the paper-style table
+and whose ``data`` is the raw machine-readable measurement (used by the
+pytest benchmarks and by EXPERIMENTS.md generation).
+
+Experiment ids follow the paper: ``table1`` .. ``table17``, ``fig2``,
+``fig4_5``, ``fig6``, plus the four ``ablation_*`` studies motivated by
+design choices the paper calls out but does not table.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.ascii_chart import bar_chart, line_chart
+from repro.bench.runner import DEFAULT_ALGORITHMS, run_algorithms, run_one
+from repro.bench.sweep import SweepConfig
+from repro.bench.tables import format_histogram_table, format_paper_table
+from repro.core.autotune import tune_sigma
+from repro.core.merge import PIVOT_STRATEGIES, merge
+from repro.core.stability import default_threshold
+from repro.data import generate, house, nba, weather
+from repro.data.real import HOUSE_CARDINALITY, NBA_CARDINALITY, WEATHER_CARDINALITY
+from repro.dataset import Dataset
+from repro.dominance import dominating_subspaces
+from repro.errors import InvalidParameterError
+from repro.stats.counters import DominanceCounter
+
+KINDS = ("AC", "CO", "UI")
+_BOOSTED_TRIO = ("sfs-subset", "salsa-subset", "sdi-subset")
+
+
+@dataclass(frozen=True)
+class ExperimentReport:
+    """Formatted text plus raw data for one reproduced artefact."""
+
+    experiment: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+
+
+# --------------------------------------------------------------------------
+# Shared sweep bodies
+# --------------------------------------------------------------------------
+
+
+def _collect(
+    datasets: Sequence[tuple[str, Dataset]],
+    cfg: SweepConfig,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+) -> tuple[dict, dict]:
+    """Run the table line-up over labelled datasets; return DT and RT grids."""
+    dt: dict[str, dict[str, float]] = {name: {} for name in algorithms}
+    rt: dict[str, dict[str, float]] = {name: {} for name in algorithms}
+    for label, dataset in datasets:
+        for row in run_algorithms(dataset, algorithms, repeats=cfg.repeats):
+            dt[row.algorithm][label] = row.mean_dt
+            rt[row.algorithm][label] = row.elapsed_ms
+    return dt, rt
+
+
+def _dim_sweep_datasets(kind: str, cfg: SweepConfig):
+    n = cfg.card(200_000)
+    return [(f"{d}-D", generate(kind, n, d, seed=cfg.seed)) for d in cfg.dims]
+
+
+def _card_sweep_datasets(kind: str, cfg: SweepConfig):
+    return [
+        (_card_label(n), generate(kind, n, 8, seed=cfg.seed))
+        for n in cfg.cardinalities
+    ]
+
+
+def _card_label(n: int) -> str:
+    if n % 1000 == 0:
+        return f"{n // 1000}K"
+    return str(n)
+
+
+def _dim_sweep_report(
+    kind: str, cfg: SweepConfig, experiment: str, dt_id: str, rt_id: str
+) -> ExperimentReport:
+    datasets = _dim_sweep_datasets(kind, cfg)
+    dt, rt = _collect(datasets, cfg)
+    columns = [label for label, _ in datasets]
+    n = cfg.card(200_000)
+    dt_text = format_paper_table(
+        f"{dt_id}: Mean dominance test numbers, {kind}, N={n}, vs dimensionality",
+        "Dimensionality",
+        columns,
+        dt,
+        DEFAULT_ALGORITHMS,
+    )
+    rt_text = format_paper_table(
+        f"{rt_id}: Elapsed processor time (ms), {kind}, N={n}, vs dimensionality",
+        "Dimensionality",
+        columns,
+        rt,
+        DEFAULT_ALGORITHMS,
+    )
+    return ExperimentReport(
+        experiment=experiment,
+        title=f"{dt_id}/{rt_id} ({kind} dimensionality sweep)",
+        text=dt_text + "\n\n" + rt_text,
+        data={"dt": dt, "rt": rt, "columns": columns, "kind": kind, "n": n},
+    )
+
+
+def _card_sweep_report(
+    kind: str, cfg: SweepConfig, experiment: str, dt_id: str, rt_id: str
+) -> ExperimentReport:
+    datasets = _card_sweep_datasets(kind, cfg)
+    dt, rt = _collect(datasets, cfg)
+    columns = [label for label, _ in datasets]
+    dt_text = format_paper_table(
+        f"{dt_id}: Mean dominance test numbers, {kind}, 8-D, vs cardinality",
+        "Cardinality",
+        columns,
+        dt,
+        DEFAULT_ALGORITHMS,
+    )
+    rt_text = format_paper_table(
+        f"{rt_id}: Elapsed processor time (ms), {kind}, 8-D, vs cardinality",
+        "Cardinality",
+        columns,
+        rt,
+        DEFAULT_ALGORITHMS,
+    )
+    return ExperimentReport(
+        experiment=experiment,
+        title=f"{dt_id}/{rt_id} ({kind} cardinality sweep)",
+        text=dt_text + "\n\n" + rt_text,
+        data={"dt": dt, "rt": rt, "columns": columns, "kind": kind},
+    )
+
+
+# --------------------------------------------------------------------------
+# Figures
+# --------------------------------------------------------------------------
+
+
+def fig2(cfg: SweepConfig) -> ExperimentReport:
+    """Figure 2: point distribution vs subspace size for a single pivot."""
+    n = cfg.card(100_000)
+    d = 8
+    series: dict[str, list[int]] = {}
+    for kind in KINDS:
+        dataset = generate(kind, n, d, seed=cfg.seed)
+        values = dataset.values
+        corner = values.min(axis=0)
+        shifted = values - corner
+        scores = np.einsum("ij,ij->i", shifted, shifted)
+        pivot = int(np.argmin(scores))
+        rest = np.delete(np.arange(n), pivot)
+        masks = dominating_subspaces(values[rest], values[pivot])
+        masks = masks[masks != 0]  # pruned points carry no subspace
+        sizes = np.bitwise_count(masks)
+        histogram = np.bincount(sizes, minlength=d + 1)[1 : d + 1]
+        series[kind] = [int(v) for v in histogram]
+    text = format_histogram_table(
+        f"Figure 2: distribution of points vs subspace size "
+        f"(single Euclidean pivot, 8-D, N={n})",
+        series,
+    )
+    text += "\n\n" + bar_chart(series, log_x=True)
+    return ExperimentReport("fig2", "Figure 2 (single-pivot distribution)", text, {"series": series, "n": n})
+
+
+def fig6(cfg: SweepConfig) -> ExperimentReport:
+    """Figure 6: point distribution vs subspace size with σ = 3."""
+    n = cfg.card(100_000)
+    d = 8
+    series: dict[str, list[int]] = {}
+    for kind in KINDS:
+        dataset = generate(kind, n, d, seed=cfg.seed)
+        merged = merge(dataset, sigma=3)
+        sizes = np.bitwise_count(merged.masks)
+        histogram = np.bincount(sizes, minlength=d + 1)[1 : d + 1]
+        series[kind] = [int(v) for v in histogram]
+    text = format_histogram_table(
+        f"Figure 6: distribution of points vs subspace size (sigma=3, 8-D, N={n})",
+        series,
+    )
+    text += "\n\n" + bar_chart(series, log_x=True)
+    return ExperimentReport("fig6", "Figure 6 (sigma=3 distribution)", text, {"series": series, "n": n})
+
+
+def fig4_5(cfg: SweepConfig) -> ExperimentReport:
+    """Figures 4 & 5: effect of the stability threshold on DT and RT."""
+    n = cfg.card(100_000)
+    d = 8
+    sigmas = list(range(2, d + 1))
+    blocks: list[str] = []
+    data: dict[str, dict] = {}
+    for kind in KINDS:
+        dataset = generate(kind, n, d, seed=cfg.seed)
+        dt: dict[str, dict[str, float]] = {name: {} for name in _BOOSTED_TRIO}
+        rt: dict[str, dict[str, float]] = {name: {} for name in _BOOSTED_TRIO}
+        for sigma in sigmas:
+            for name in _BOOSTED_TRIO:
+                row = run_one(dataset, name, sigma=sigma, repeats=cfg.repeats)
+                dt[name][str(sigma)] = row.mean_dt
+                rt[name][str(sigma)] = row.elapsed_ms
+        columns = [str(s) for s in sigmas]
+        blocks.append(
+            format_paper_table(
+                f"Figure 4 ({kind}): mean dominance tests vs stability threshold "
+                f"(8-D, N={n})",
+                "sigma",
+                columns,
+                dt,
+                _BOOSTED_TRIO,
+            )
+        )
+        blocks.append(
+            line_chart(
+                {name: [dt[name][c] for c in columns] for name in _BOOSTED_TRIO},
+                columns,
+                title=f"Figure 4 ({kind}), log-DT vs sigma",
+                log_y=True,
+            )
+        )
+        blocks.append(
+            format_paper_table(
+                f"Figure 5 ({kind}): elapsed time (ms) vs stability threshold "
+                f"(8-D, N={n})",
+                "sigma",
+                columns,
+                rt,
+                _BOOSTED_TRIO,
+            )
+        )
+        blocks.append(
+            line_chart(
+                {name: [rt[name][c] for c in columns] for name in _BOOSTED_TRIO},
+                columns,
+                title=f"Figure 5 ({kind}), RT (ms) vs sigma",
+            )
+        )
+        data[kind] = {"dt": dt, "rt": rt}
+    return ExperimentReport(
+        "fig4_5",
+        "Figures 4/5 (stability threshold sweep)",
+        "\n\n".join(blocks),
+        {"sigmas": sigmas, "n": n, **data},
+    )
+
+
+# --------------------------------------------------------------------------
+# Tables
+# --------------------------------------------------------------------------
+
+
+def table1(cfg: SweepConfig) -> ExperimentReport:
+    """Table 1: skyline sizes of the synthetic datasets."""
+    n_dim_sweep = cfg.card(200_000)
+    dim_data: dict[str, dict[str, float]] = {}
+    for kind in KINDS:
+        dim_data[f"{kind} datasets"] = {}
+        for d in cfg.dims:
+            dataset = generate(kind, n_dim_sweep, d, seed=cfg.seed)
+            size = run_one(dataset, "sdi").skyline_size
+            dim_data[f"{kind} datasets"][f"{d}-D"] = float(size)
+    card_data: dict[str, dict[str, float]] = {}
+    for kind in KINDS:
+        card_data[f"{kind} datasets"] = {}
+        for n in cfg.cardinalities:
+            dataset = generate(kind, n, 8, seed=cfg.seed)
+            size = run_one(dataset, "sdi").skyline_size
+            card_data[f"{kind} datasets"][_card_label(n)] = float(size)
+    rows = [f"{kind} datasets" for kind in KINDS]
+    text = (
+        format_paper_table(
+            f"Table 1a: skyline size vs dimensionality (N={n_dim_sweep})",
+            "Dimensionality",
+            [f"{d}-D" for d in cfg.dims],
+            dim_data,
+            rows,
+        )
+        + "\n\n"
+        + format_paper_table(
+            "Table 1b: skyline size vs cardinality (8-D)",
+            "Cardinality",
+            [_card_label(n) for n in cfg.cardinalities],
+            card_data,
+            rows,
+        )
+    )
+    return ExperimentReport(
+        "table1", "Table 1 (skyline sizes)", text, {"dims": dim_data, "cards": card_data}
+    )
+
+
+def table2_3(cfg: SweepConfig) -> ExperimentReport:
+    return _dim_sweep_report("AC", cfg, "table2_3", "Table 2", "Table 3")
+
+
+def table4_5(cfg: SweepConfig) -> ExperimentReport:
+    return _card_sweep_report("AC", cfg, "table4_5", "Table 4", "Table 5")
+
+
+def table6_7(cfg: SweepConfig) -> ExperimentReport:
+    return _dim_sweep_report("CO", cfg, "table6_7", "Table 6", "Table 7")
+
+
+def table8_9(cfg: SweepConfig) -> ExperimentReport:
+    return _card_sweep_report("CO", cfg, "table8_9", "Table 8", "Table 9")
+
+
+def table10_11(cfg: SweepConfig) -> ExperimentReport:
+    return _dim_sweep_report("UI", cfg, "table10_11", "Table 10", "Table 11")
+
+
+def table12_13(cfg: SweepConfig) -> ExperimentReport:
+    return _card_sweep_report("UI", cfg, "table12_13", "Table 12", "Table 13")
+
+
+def table14(cfg: SweepConfig) -> ExperimentReport:
+    """Table 14: the 4-D UI crossover at 1M points."""
+    n = cfg.card(1_000_000)
+    dataset = generate("UI", n, 4, seed=cfg.seed)
+    dt, rt = _collect([("value", dataset)], cfg)
+    skyline = run_one(dataset, "sdi").skyline_size
+    data = {
+        name: {"DT": dt[name]["value"], "RT (ms)": rt[name]["value"]}
+        for name in DEFAULT_ALGORITHMS
+    }
+    text = format_paper_table(
+        f"Table 14: 4-D UI dataset with N={n} (skyline = {skyline} points)",
+        "Method",
+        ["DT", "RT (ms)"],
+        data,
+        DEFAULT_ALGORITHMS,
+    )
+    return ExperimentReport(
+        "table14", "Table 14 (4-D UI large N)", text, {"metrics": data, "skyline": skyline}
+    )
+
+
+def _real_table(
+    experiment: str,
+    title: str,
+    dataset: Dataset,
+    sigma: int,
+    cfg: SweepConfig,
+) -> ExperimentReport:
+    dt: dict[str, dict[str, float]] = {}
+    rt: dict[str, dict[str, float]] = {}
+    for name in DEFAULT_ALGORITHMS:
+        row = run_one(
+            dataset,
+            name,
+            sigma=sigma if name.endswith("-subset") else None,
+            repeats=cfg.repeats,
+        )
+        dt[name] = {"DT": row.mean_dt}
+        rt[name] = {"RT (ms)": row.elapsed_ms}
+    skyline = run_one(dataset, "sdi").skyline_size
+    data = {
+        name: {"DT": dt[name]["DT"], "RT (ms)": rt[name]["RT (ms)"]}
+        for name in DEFAULT_ALGORITHMS
+    }
+    text = format_paper_table(
+        f"{title} (N={dataset.cardinality}, d={dataset.dimensionality}, "
+        f"skyline={skyline}, sigma={sigma})",
+        "Method",
+        ["DT", "RT (ms)"],
+        data,
+        DEFAULT_ALGORITHMS,
+    )
+    return ExperimentReport(experiment, title, text, {"metrics": data, "sigma": sigma})
+
+
+def table15(cfg: SweepConfig) -> ExperimentReport:
+    """Table 15: the HOUSE dataset (σ = 4)."""
+    return _real_table(
+        "table15", "Table 15: HOUSE", house(cfg.card(HOUSE_CARDINALITY), seed=cfg.seed), 4, cfg
+    )
+
+
+def table16(cfg: SweepConfig) -> ExperimentReport:
+    """Table 16: the NBA dataset (σ = 2)."""
+    return _real_table(
+        "table16", "Table 16: NBA", nba(cfg.card(NBA_CARDINALITY), seed=cfg.seed), 2, cfg
+    )
+
+
+def table17(cfg: SweepConfig) -> ExperimentReport:
+    """Table 17: the WEATHER dataset (σ = 3)."""
+    return _real_table(
+        "table17",
+        "Table 17: WEATHER",
+        weather(cfg.card(WEATHER_CARDINALITY), seed=cfg.seed),
+        3,
+        cfg,
+    )
+
+
+# --------------------------------------------------------------------------
+# Ablations
+# --------------------------------------------------------------------------
+
+
+def ablation_sigma(cfg: SweepConfig) -> ExperimentReport:
+    """σ = round(d/3) heuristic vs every σ and vs the autotuned choice."""
+    from repro.algorithms.sdi import SDI
+    from repro.core.boost import SubsetBoost
+
+    n = cfg.card(100_000)
+    d = 8
+    blocks = []
+    data: dict[str, dict] = {}
+    for kind in KINDS:
+        dataset = generate(kind, n, d, seed=cfg.seed)
+        grid: dict[str, dict[str, float]] = {"sdi-subset": {}}
+        for sigma in range(2, d + 1):
+            row = run_one(dataset, "sdi-subset", sigma=sigma, repeats=cfg.repeats)
+            grid["sdi-subset"][f"s={sigma}"] = row.mean_dt
+        tuned = tune_sigma(dataset, SDI(), sample_size=min(n, 1000), seed=cfg.seed)
+        heuristic = default_threshold(d)
+        started = time.perf_counter()
+        counter = DominanceCounter()
+        SubsetBoost(SDI(), sigma=tuned.sigma).compute(dataset, counter=counter)
+        grid["sdi-subset"][f"tuned({tuned.sigma})"] = counter.tests / n
+        blocks.append(
+            format_paper_table(
+                f"Ablation (sigma, {kind}): DT vs threshold; heuristic d/3 -> "
+                f"sigma={heuristic}; autotuned -> sigma={tuned.sigma} "
+                f"({time.perf_counter() - started:.2f}s incl. run)",
+                "Method",
+                list(grid["sdi-subset"].keys()),
+                grid,
+                ["sdi-subset"],
+            )
+        )
+        data[kind] = {"grid": grid["sdi-subset"], "tuned": tuned.sigma, "heuristic": heuristic}
+    return ExperimentReport(
+        "ablation_sigma", "Ablation: stability threshold", "\n\n".join(blocks), data
+    )
+
+
+def ablation_sort(cfg: SweepConfig) -> ExperimentReport:
+    """SFS sort-function sensitivity (entropy vs sum vs euclidean vs minc)."""
+    from repro.algorithms.sfs import SFS
+
+    n = cfg.card(100_000)
+    d = 8
+    functions = ("entropy", "sum", "euclidean", "minc")
+    dt: dict[str, dict[str, float]] = {f"sfs[{f}]": {} for f in functions}
+    for kind in KINDS:
+        dataset = generate(kind, n, d, seed=cfg.seed)
+        for function in functions:
+            counter = DominanceCounter()
+            SFS(sort_function=function).compute(dataset, counter=counter)
+            dt[f"sfs[{function}]"][kind] = counter.tests / n
+    text = format_paper_table(
+        f"Ablation (sort functions): SFS mean dominance tests (8-D, N={n})",
+        "Sort function",
+        list(KINDS),
+        dt,
+        list(dt),
+    )
+    return ExperimentReport("ablation_sort", "Ablation: SFS sort functions", text, dt)
+
+
+def ablation_container(cfg: SweepConfig) -> ExperimentReport:
+    """Subset index vs plain list container under an identical merge phase."""
+    from repro.algorithms.salsa import SaLSa
+    from repro.algorithms.sdi import SDI
+    from repro.algorithms.sfs import SFS
+    from repro.core.boost import SubsetBoost
+
+    n = cfg.card(100_000)
+    d = 8
+    hosts = {"sfs": SFS, "salsa": SaLSa, "sdi": SDI}
+    dt: dict[str, dict[str, float]] = {}
+    rt: dict[str, dict[str, float]] = {}
+    for kind in KINDS:
+        dataset = generate(kind, n, d, seed=cfg.seed)
+        for host_name, host_cls in hosts.items():
+            for container in ("list", "subset"):
+                label = f"{host_name}+merge[{container}]"
+                counter = DominanceCounter()
+                started = time.perf_counter()
+                SubsetBoost(host_cls(), container=container).compute(
+                    dataset, counter=counter
+                )
+                elapsed = (time.perf_counter() - started) * 1000
+                dt.setdefault(label, {})[kind] = counter.tests / n
+                rt.setdefault(label, {})[kind] = elapsed
+    text = (
+        format_paper_table(
+            f"Ablation (container): DT with merge + list vs merge + subset index "
+            f"(8-D, N={n})",
+            "Variant",
+            list(KINDS),
+            dt,
+            list(dt),
+        )
+        + "\n\n"
+        + format_paper_table(
+            "Ablation (container): RT (ms)",
+            "Variant",
+            list(KINDS),
+            rt,
+            list(rt),
+        )
+    )
+    return ExperimentReport(
+        "ablation_container", "Ablation: container", text, {"dt": dt, "rt": rt}
+    )
+
+
+def ablation_pivot(cfg: SweepConfig) -> ExperimentReport:
+    """Merge pivot scoring: Euclidean (paper) vs sum vs maxmin."""
+    from repro.algorithms.sdi import SDI
+    from repro.core.boost import SubsetBoost
+
+    n = cfg.card(100_000)
+    d = 8
+    dt: dict[str, dict[str, float]] = {}
+    for kind in KINDS:
+        dataset = generate(kind, n, d, seed=cfg.seed)
+        for strategy in PIVOT_STRATEGIES:
+            counter = DominanceCounter()
+            SubsetBoost(SDI(), pivot_strategy=strategy).compute(
+                dataset, counter=counter
+            )
+            dt.setdefault(f"sdi-subset[{strategy}]", {})[kind] = counter.tests / n
+    text = format_paper_table(
+        f"Ablation (pivot scoring): SDI-Subset mean dominance tests (8-D, N={n})",
+        "Pivot strategy",
+        list(KINDS),
+        dt,
+        list(dt),
+    )
+    return ExperimentReport("ablation_pivot", "Ablation: pivot strategy", text, dt)
+
+
+def portfolio(cfg: SweepConfig) -> ExperimentReport:
+    """Every algorithm in the library on 8-D AC/CO/UI (beyond the paper)."""
+    from repro.algorithms.registry import available_algorithms
+
+    n = cfg.card(100_000)
+    d = 8
+    names = available_algorithms()
+    if not cfg.full:
+        names = [name for name in names if name != "bruteforce"]
+    dt: dict[str, dict[str, float]] = {name: {} for name in names}
+    rt: dict[str, dict[str, float]] = {name: {} for name in names}
+    for kind in KINDS:
+        dataset = generate(kind, n, d, seed=cfg.seed)
+        for row in run_algorithms(dataset, names, repeats=cfg.repeats):
+            dt[row.algorithm][kind] = row.mean_dt
+            rt[row.algorithm][kind] = row.elapsed_ms
+    text = (
+        format_paper_table(
+            f"Portfolio: mean dominance tests, 8-D, N={n}",
+            "Algorithm",
+            list(KINDS),
+            dt,
+            names,
+        )
+        + "\n\n"
+        + format_paper_table(
+            f"Portfolio: elapsed time (ms), 8-D, N={n}",
+            "Algorithm",
+            list(KINDS),
+            rt,
+            names,
+        )
+    )
+    return ExperimentReport(
+        "portfolio", "Portfolio (all algorithms)", text, {"dt": dt, "rt": rt}
+    )
+
+
+# --------------------------------------------------------------------------
+# Registry
+# --------------------------------------------------------------------------
+
+EXPERIMENTS: dict[str, Callable[[SweepConfig], ExperimentReport]] = {
+    "fig2": fig2,
+    "fig4_5": fig4_5,
+    "fig6": fig6,
+    "table1": table1,
+    "table2_3": table2_3,
+    "table4_5": table4_5,
+    "table6_7": table6_7,
+    "table8_9": table8_9,
+    "table10_11": table10_11,
+    "table12_13": table12_13,
+    "table14": table14,
+    "table15": table15,
+    "table16": table16,
+    "table17": table17,
+    "ablation_sigma": ablation_sigma,
+    "ablation_sort": ablation_sort,
+    "ablation_container": ablation_container,
+    "ablation_pivot": ablation_pivot,
+    "portfolio": portfolio,
+}
+
+_ALIASES = {
+    "fig4": "fig4_5",
+    "fig5": "fig4_5",
+    "table2": "table2_3",
+    "table3": "table2_3",
+    "table4": "table4_5",
+    "table5": "table4_5",
+    "table6": "table6_7",
+    "table7": "table6_7",
+    "table8": "table8_9",
+    "table9": "table8_9",
+    "table10": "table10_11",
+    "table11": "table10_11",
+    "table12": "table12_13",
+    "table13": "table12_13",
+}
+
+
+def run_experiment(name: str, cfg: SweepConfig | None = None) -> ExperimentReport:
+    """Run one experiment by id (aliases like ``table2`` resolve to pairs)."""
+    cfg = cfg or SweepConfig()
+    key = _ALIASES.get(name.lower(), name.lower())
+    func = EXPERIMENTS.get(key)
+    if func is None:
+        raise InvalidParameterError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    return func(cfg)

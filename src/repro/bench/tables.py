@@ -1,0 +1,82 @@
+"""Paper-style table formatting.
+
+The evaluation tables all share one layout: one column per sweep value
+(dimensionality, cardinality, or a single dataset), one row per algorithm,
+and a "Performance Gain" row under each boosted algorithm showing the
+unboosted/boosted ratio — or ``-`` when the boost does not help, exactly as
+the paper prints it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.bench.runner import BOOSTED_PAIRS
+from repro.stats.metrics import format_gain, performance_gain
+
+#: data layout: data[algorithm][column_label] -> metric value
+TableData = Mapping[str, Mapping[str, float]]
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:.1f}"
+    if abs(value) >= 1:
+        return f"{value:.4g}"
+    return f"{value:.5f}"
+
+
+def format_paper_table(
+    title: str,
+    column_header: str,
+    columns: Sequence[str],
+    data: TableData,
+    row_order: Sequence[str],
+) -> str:
+    """Render one paper-style table as aligned monospace text."""
+    base_of = {boosted: base for base, boosted in BOOSTED_PAIRS}
+    rows: list[list[str]] = [[column_header, *columns]]
+    for name in row_order:
+        rows.append([name, *(_format_value(data[name][col]) for col in columns)])
+        base = base_of.get(name)
+        if base is not None and base in data:
+            # The paper prints the gain row right under each boosted row.
+            rows.append(
+                [
+                    "Performance Gain",
+                    *(
+                        format_gain(performance_gain(data[base][col], data[name][col]))
+                        for col in columns
+                    ),
+                ]
+            )
+    widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
+    lines = [title, "=" * len(title)]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_histogram_table(
+    title: str,
+    series: Mapping[str, Sequence[int]],
+    bucket_header: str = "subspace size",
+) -> str:
+    """Render Figure-2/6-style distributions: one row per series (AC/CO/UI)."""
+    n_buckets = max(len(values) for values in series.values())
+    header = [bucket_header, *(str(i) for i in range(1, n_buckets + 1))]
+    rows = [header]
+    for label, values in series.items():
+        padded = list(values) + [0] * (n_buckets - len(values))
+        rows.append([label, *(str(int(v)) for v in padded)])
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    lines = [title, "=" * len(title)]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Sample-based stability-threshold selection (future-work item 2 of §7).
+
+The paper fixes σ = round(d/3) after a manual sweep and notes that "for
+large datasets, the stability threshold can be tested from a random sample
+of the dataset" and that a proper *cost model* is future work.  This module
+implements that idea: draw a random sample, run the boosted pipeline on it
+for every candidate σ, and score each run with a simple linear cost model
+combining dominance tests (the dominant cost) and subset-index node visits
+(the I/O overhead the paper blames for the NBA dataset's flat results).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.boost import BoostableHost, SubsetBoost
+from repro.dataset import Dataset, as_dataset
+from repro.errors import InvalidParameterError
+from repro.stats.counters import DominanceCounter
+
+#: Relative cost of one index node visit versus one dominance test.  A node
+#: visit is a single hash-map probe; a dominance test inspects d values.
+INDEX_ACCESS_WEIGHT = 0.25
+
+
+@dataclass(frozen=True)
+class SigmaChoice:
+    """Outcome of :func:`tune_sigma`."""
+
+    sigma: int
+    costs: dict[int, float]
+    sample_size: int
+
+    def ranked(self) -> list[tuple[int, float]]:
+        """Candidate thresholds from cheapest to most expensive."""
+        return sorted(self.costs.items(), key=lambda item: item[1])
+
+
+def tune_sigma(
+    data: Dataset | np.ndarray,
+    host: BoostableHost,
+    sample_size: int = 2000,
+    candidates: list[int] | None = None,
+    seed: int | None = 0,
+) -> SigmaChoice:
+    """Pick the stability threshold that minimises modelled cost on a sample.
+
+    Parameters
+    ----------
+    data:
+        The full dataset; a uniform sample of ``sample_size`` rows is used.
+    host:
+        The boostable host algorithm the threshold is being tuned for.
+    candidates:
+        Thresholds to try; defaults to every valid value ``2..d``.
+    """
+    dataset = as_dataset(data)
+    d = dataset.dimensionality
+    if d < 2:
+        raise InvalidParameterError(f"subset approach requires d >= 2, got d={d}")
+    if sample_size < 2:
+        raise InvalidParameterError(f"sample_size must be >= 2, got {sample_size}")
+    if candidates is None:
+        candidates = list(range(2, d + 1))
+    for sigma in candidates:
+        if sigma <= 1 or sigma > d:
+            raise InvalidParameterError(f"candidate sigma {sigma} outside (1, {d}]")
+
+    if dataset.cardinality > sample_size:
+        rng = np.random.default_rng(seed)
+        rows = rng.choice(dataset.cardinality, size=sample_size, replace=False)
+        sample = dataset.subset(rows, name=f"{dataset.name}[sample]")
+    else:
+        sample = dataset
+
+    costs: dict[int, float] = {}
+    for sigma in candidates:
+        counter = DominanceCounter()
+        SubsetBoost(host, sigma=sigma).compute(sample, counter=counter)
+        costs[sigma] = counter.tests + INDEX_ACCESS_WEIGHT * counter.index_nodes_visited
+
+    best = min(costs, key=lambda s: (costs[s], s))
+    return SigmaChoice(sigma=best, costs=costs, sample_size=sample.cardinality)

@@ -1,0 +1,140 @@
+"""``SubsetBoost`` — wiring Merge + the subset index into a host algorithm.
+
+The application sketch from Section 1 of the paper:
+
+1. run Merge (Algorithm 1) to find pivot points and assign every non-pruned
+   point its maximum dominating subspace;
+2. run the host sorting-based skyline algorithm over the non-pruned points,
+   with two new actions: confirmed skyline points are ``put`` into the
+   subset index under their subspace, and each testing point retrieves only
+   the comparable skyline points via a subset ``query``;
+3. the final skyline is the merge-phase skyline plus the scan-phase skyline.
+
+Merge guarantees that no remaining point is dominated by (or equal to) a
+pivot, so pivots never need to participate in scan-phase dominance tests —
+the index starts empty.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.container import SkylineContainer, SubsetContainer
+from repro.core.merge import merge
+from repro.core.stability import default_threshold, validate_threshold
+from repro.dataset import Dataset
+from repro.stats.counters import DominanceCounter
+
+
+@runtime_checkable
+class BoostableHost(Protocol):
+    """What a host algorithm must provide to be subset-boosted.
+
+    Sorting-based algorithms (SFS, LESS, SaLSa, SDI, Z-order scan) satisfy
+    this protocol; partitioning-based ones deliberately do not — the paper
+    notes they "cannot benefit much" because their data is already
+    partitioned.
+    """
+
+    name: str
+
+    def run_phase(
+        self,
+        dataset: Dataset,
+        ids: np.ndarray,
+        masks: np.ndarray,
+        container: SkylineContainer,
+        counter: DominanceCounter,
+    ) -> list[int]:
+        """Compute the skyline of ``dataset`` restricted to rows ``ids``.
+
+        ``masks[i]`` is the maximum dominating subspace of point ``i`` (the
+        full-length array is indexed by original point id).  Confirmed
+        skyline points must be added to ``container`` with their mask, and
+        candidate dominators must come from ``container.candidates``.
+        """
+        ...
+
+
+class SubsetBoost:
+    """A host skyline algorithm boosted by the subset approach.
+
+    Parameters
+    ----------
+    host:
+        Any :class:`BoostableHost` (e.g. ``SFS()``, ``SaLSa()``, ``SDI()``).
+    sigma:
+        Stability threshold for Merge; defaults to the paper's rounded
+        ``d/3`` heuristic at compute time.
+
+    >>> from repro.algorithms.sfs import SFS
+    >>> from repro.data import generate
+    >>> boosted = SubsetBoost(SFS())
+    >>> result = boosted.compute(generate("UI", n=300, d=6, seed=3))
+    >>> boosted.name
+    'sfs-subset'
+    """
+
+    def __init__(
+        self,
+        host: BoostableHost,
+        sigma: int | None = None,
+        container: str = "subset",
+        pivot_strategy: str = "euclidean",
+    ) -> None:
+        if not isinstance(host, BoostableHost):
+            raise TypeError(
+                f"{type(host).__name__} is not boostable: it lacks run_phase()"
+            )
+        if container not in ("subset", "list"):
+            raise ValueError(f"container must be 'subset' or 'list', got {container!r}")
+        self.host = host
+        self.sigma = sigma
+        self.container = container
+        self.pivot_strategy = pivot_strategy
+        self.name = f"{host.name}-subset"
+
+    def compute(self, data, counter: DominanceCounter | None = None):
+        """Compute the skyline; same contract as ``SkylineAlgorithm.compute``."""
+        # Imported here to keep the core package import-light and acyclic.
+        from repro.algorithms.base import run_timed
+
+        return run_timed(self.name, data, counter, self._run)
+
+    def _run(self, dataset: Dataset, counter: DominanceCounter) -> list[int]:
+        d = dataset.dimensionality
+        if d < 2:
+            # No non-trivial subspaces exist; the boost is undefined (the
+            # paper starts at d = 2).  Fall back to the plain host.
+            all_ids = np.arange(dataset.cardinality, dtype=np.intp)
+            masks = np.zeros(dataset.cardinality, dtype=np.int64)
+            from repro.core.container import ListContainer
+
+            return self.host.run_phase(
+                dataset, all_ids, masks, ListContainer(dataset.values), counter
+            )
+        sigma = self.sigma if self.sigma is not None else default_threshold(d)
+        validate_threshold(sigma, d)
+
+        merged = merge(dataset, sigma, counter, pivot_strategy=self.pivot_strategy)
+        skyline = merged.initial_skyline_ids
+        if merged.remaining_ids.size == 0:
+            return skyline
+
+        masks = np.zeros(dataset.cardinality, dtype=np.int64)
+        masks[merged.remaining_ids] = merged.masks
+        if self.container == "subset":
+            container: SkylineContainer = SubsetContainer(dataset.values, d, counter)
+        else:
+            # Ablation mode: identical merge phase, plain list store — this
+            # isolates the contribution of the subset index (Algs. 2-4)
+            # from that of the merge pruning (Alg. 1).
+            from repro.core.container import ListContainer
+
+            container = ListContainer(dataset.values)
+        scan_skyline = self.host.run_phase(
+            dataset, merged.remaining_ids, masks, container, counter
+        )
+        return [*skyline, *scan_skyline]

@@ -1,0 +1,146 @@
+"""The generic skyline *container* the paper proposes (Section 1 sketch).
+
+The subset approach is deliberately algorithm-agnostic: it is "designed as a
+component like a container that allows to store (as ``put`` function) the
+skyline points and to retrieve (as a ``get`` function) a minimum number of
+skyline points to compare with a testing point".  This module defines that
+interface plus its two implementations:
+
+- :class:`ListContainer` — the classic presorted-scan store: an
+  insertion-ordered list; every stored point is a candidate.
+- :class:`SubsetContainer` — the paper's contribution: candidates are
+  retrieved from the :class:`~repro.core.subset_index.SkylineIndex` by
+  subspace, so provably-incomparable skyline points are never tested.
+
+Both return candidates as an ``(ids, values_block)`` pair so hosts can run
+the vectorised exact-count dominance kernel on the block directly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.subset_index import SkylineIndex
+from repro.stats.counters import DominanceCounter
+
+
+class _GrowingBlock:
+    """An append-only ``(k, d)`` float buffer with amortised doubling."""
+
+    def __init__(self, d: int, initial_capacity: int = 64) -> None:
+        self._data = np.empty((initial_capacity, d), dtype=np.float64)
+        self._len = 0
+
+    def append(self, row: np.ndarray) -> None:
+        if self._len == self._data.shape[0]:
+            grown = np.empty((self._data.shape[0] * 2, self._data.shape[1]))
+            grown[: self._len] = self._data[: self._len]
+            self._data = grown
+        self._data[self._len] = row
+        self._len += 1
+
+    def view(self) -> np.ndarray:
+        return self._data[: self._len]
+
+    def __len__(self) -> int:
+        return self._len
+
+
+class SkylineContainer(ABC):
+    """Store for confirmed skyline points during a presorted scan."""
+
+    @abstractmethod
+    def add(self, point_id: int, mask: int) -> None:
+        """Store a confirmed skyline point with its maximum dominating subspace."""
+
+    @abstractmethod
+    def candidates(self, mask: int) -> tuple[np.ndarray, np.ndarray]:
+        """Candidate dominators for a testing point with subspace ``mask``.
+
+        Returns ``(ids, block)`` where ``block[k]`` holds the coordinates of
+        skyline point ``ids[k]``.  Every stored point that could possibly
+        dominate the testing point is guaranteed to be in the result.
+        """
+
+    @abstractmethod
+    def ids(self) -> list[int]:
+        """All stored skyline point ids."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored points."""
+
+
+class ListContainer(SkylineContainer):
+    """Insertion-ordered list store; every stored point is always a candidate.
+
+    This is what plain SFS/SaLSa/LESS use: testing in insertion order means
+    low-score (highly dominating) points are compared first.
+    """
+
+    def __init__(self, values: np.ndarray) -> None:
+        self._values = values
+        self._ids: list[int] = []
+        self._id_array = np.empty(0, dtype=np.intp)
+        self._block = _GrowingBlock(values.shape[1])
+        self._dirty = False
+
+    def add(self, point_id: int, mask: int) -> None:
+        self._ids.append(point_id)
+        self._block.append(self._values[point_id])
+        self._dirty = True
+
+    def candidates(self, mask: int) -> tuple[np.ndarray, np.ndarray]:
+        if self._dirty:
+            self._id_array = np.asarray(self._ids, dtype=np.intp)
+            self._dirty = False
+        return self._id_array, self._block.view()
+
+    def ids(self) -> list[int]:
+        return list(self._ids)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+
+class SubsetContainer(SkylineContainer):
+    """Subset-index-backed store: candidates filtered by Lemma 5.1.
+
+    ``candidates(mask)`` returns only the stored points whose maximum
+    dominating subspace is a superset of ``mask`` — the minimal correct
+    candidate set.  Index accesses are recorded on the counter separately
+    from dominance tests.
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        d: int,
+        counter: DominanceCounter | None = None,
+    ) -> None:
+        self._values = values
+        self._index = SkylineIndex(d)
+        self._counter = counter
+        self._all_ids: list[int] = []
+
+    @property
+    def index(self) -> SkylineIndex:
+        """The underlying prefix-tree index (exposed for diagnostics)."""
+        return self._index
+
+    def add(self, point_id: int, mask: int) -> None:
+        self._index.put(point_id, mask)
+        self._all_ids.append(point_id)
+
+    def candidates(self, mask: int) -> tuple[np.ndarray, np.ndarray]:
+        ids = self._index.query(mask, self._counter)
+        id_array = np.asarray(ids, dtype=np.intp)
+        return id_array, self._values[id_array]
+
+    def ids(self) -> list[int]:
+        return list(self._all_ids)
+
+    def __len__(self) -> int:
+        return len(self._all_ids)

@@ -1,0 +1,91 @@
+"""The stability measure σ′ that stops the subspace-union iteration.
+
+Section 4: after each pivot point is merged, the Merge algorithm measures
+"the change of point number of each subspace size" — a histogram with one
+bucket per subspace size ``1..d`` rather than one per each of the ``2^d - 2``
+subspaces.  The *stability* σ′ is the number of size buckets whose count did
+not change between consecutive iterations; Merge stops once σ′ reaches the
+user-supplied *stability threshold* σ, with meaningful values ``1 < σ <= d``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+def subspace_size_histogram(sizes: np.ndarray, d: int) -> np.ndarray:
+    """Histogram of subspace sizes over buckets ``0..d`` (bucket 0 = unset).
+
+    ``sizes`` holds ``|D_q|`` for every non-pruned point; the returned array
+    has length ``d + 1`` and ``hist[s]`` counts points whose maximum
+    dominating subspace currently has ``s`` dimensions.
+    """
+    if d < 1:
+        raise InvalidParameterError(f"dimensionality must be >= 1, got {d}")
+    return np.bincount(np.asarray(sizes, dtype=np.intp), minlength=d + 1)[: d + 1]
+
+
+class StabilityTracker:
+    """Tracks σ′ across Merge iterations.
+
+    σ′ is the number of size buckets in ``1..d`` whose count is identical to
+    the previous iteration's count.  Bucket 0 (points not yet assigned any
+    subspace) is excluded: the paper's histogram is over subspaces, which by
+    construction are non-empty for every non-pruned point after the first
+    pivot.
+    """
+
+    def __init__(self, d: int) -> None:
+        if d < 1:
+            raise InvalidParameterError(f"dimensionality must be >= 1, got {d}")
+        self._d = d
+        self._previous: np.ndarray | None = None
+
+    @property
+    def dimensionality(self) -> int:
+        return self._d
+
+    def update(self, sizes: np.ndarray) -> int:
+        """Record the current subspace sizes and return the new σ′."""
+        histogram = subspace_size_histogram(sizes, self._d)
+        if self._previous is None:
+            stability = 0
+        else:
+            stability = int(np.sum(histogram[1:] == self._previous[1:]))
+        self._previous = histogram
+        return stability
+
+    @property
+    def histogram(self) -> np.ndarray | None:
+        """The most recent histogram (length ``d + 1``), or ``None``."""
+        return None if self._previous is None else self._previous.copy()
+
+
+def validate_threshold(sigma: int, d: int) -> int:
+    """Check ``1 < σ <= d`` (Section 6.1) and return σ.
+
+    σ = 1 is rejected as "meaningless" per the paper; for ``d == 1`` the
+    subset approach is undefined and σ is clamped to 1 by callers that have
+    already rejected such data.
+    """
+    if not isinstance(sigma, int):
+        raise InvalidParameterError(f"sigma must be an int, got {type(sigma).__name__}")
+    if sigma <= 1 or sigma > d:
+        raise InvalidParameterError(
+            f"stability threshold must satisfy 1 < sigma <= d={d}, got {sigma}"
+        )
+    return sigma
+
+
+def default_threshold(d: int) -> int:
+    """The paper's recommended default: σ = round(d / 3), clamped to (1, d].
+
+    Section 6.1: "the fastest σ for SDI-Subset is around d/3.  Therefore, in
+    the reported performance evaluations, the stability threshold σ is set
+    to rounded d/3."
+    """
+    if d < 2:
+        raise InvalidParameterError(f"subset approach requires d >= 2, got d={d}")
+    return max(2, min(d, round(d / 3)))

@@ -1,0 +1,59 @@
+"""Dominating subspaces and the paper's incomparability lemmas.
+
+A *dominating subspace* ``D_{q<p}`` (Definition 3.4) is the set of dimensions
+where ``q`` is strictly better than ``p``; it is represented as an integer
+bitmask (see :mod:`repro.structures.bitset`).  The *maximum dominating
+subspace* of ``q`` with respect to a set of skyline points ``S``
+(Definition 4.1) is the union of the per-pivot subspaces.
+
+The two structural facts the whole method rests on:
+
+- **Lemma 4.2** — if neither maximum dominating subspace contains the other,
+  the two points are incomparable (no dominance test needed);
+- **Lemma 4.3** — ``q1 < q2`` requires ``D_{q1<S} ⊇ D_{q2<S}``, so the only
+  candidate dominators of a testing point are skyline points whose subspace
+  is a superset of the testing point's subspace (Lemma 5.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.dominance import dominating_subspace
+from repro.stats.counters import DominanceCounter
+from repro.structures import bitset
+
+
+def maximum_dominating_subspace(
+    q: np.ndarray,
+    pivots: Iterable[np.ndarray],
+    counter: DominanceCounter | None = None,
+) -> int:
+    """``D_{q<S} = ⋃_{p∈S} D_{q<p}`` (Definition 4.1) as a bitmask."""
+    mask = 0
+    for pivot in pivots:
+        mask |= dominating_subspace(q, pivot, counter)
+    return mask
+
+
+def implies_incomparable(mask_a: int, mask_b: int) -> bool:
+    """Lemma 4.2: non-nested maximum dominating subspaces ⇒ incomparable.
+
+    Returns True when neither mask contains the other, which *guarantees*
+    the two points are incomparable; False means nothing (they may or may
+    not be comparable).
+    """
+    return not bitset.is_subset(mask_a, mask_b) and not bitset.is_subset(
+        mask_b, mask_a
+    )
+
+
+def may_dominate(mask_p: int, mask_q: int) -> bool:
+    """Lemma 4.3 contrapositive: can ``p`` possibly dominate ``q``?
+
+    ``p < q`` requires ``D_{p<S} ⊇ D_{q<S}``; when this returns False a
+    dominance test between the points is provably unnecessary.
+    """
+    return bitset.is_superset(mask_p, mask_q)

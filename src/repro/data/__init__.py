@@ -1,0 +1,16 @@
+"""Workload generation: synthetic AC/CO/UI data and real-dataset equivalents."""
+
+from repro.data.generators import generate
+from repro.data.io import load_csv, load_npy, save_csv, save_npy
+from repro.data.real import house, nba, weather
+
+__all__ = [
+    "generate",
+    "house",
+    "load_csv",
+    "load_npy",
+    "nba",
+    "save_csv",
+    "save_npy",
+    "weather",
+]

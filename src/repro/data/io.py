@@ -1,0 +1,54 @@
+"""Dataset persistence: CSV (interchange) and NPY (fast) round-trips."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.dataset import Dataset
+from repro.errors import InvalidDatasetError
+
+
+def save_csv(dataset: Dataset, path: str | Path) -> None:
+    """Write a dataset to CSV with a ``dim_0..dim_{d-1}`` header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([f"dim_{i}" for i in range(dataset.dimensionality)])
+        writer.writerows(dataset.values.tolist())
+
+
+def load_csv(path: str | Path, name: str | None = None, kind: str = "custom") -> Dataset:
+    """Read a dataset from CSV; a header row is detected and skipped."""
+    path = Path(path)
+    rows: list[list[float]] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        for lineno, row in enumerate(reader):
+            if not row:
+                continue
+            try:
+                rows.append([float(cell) for cell in row])
+            except ValueError:
+                if lineno == 0:
+                    continue  # header row
+                raise InvalidDatasetError(
+                    f"{path}:{lineno + 1}: non-numeric cell in {row!r}"
+                ) from None
+    if not rows:
+        raise InvalidDatasetError(f"{path}: no data rows")
+    return Dataset(np.asarray(rows, dtype=np.float64), name=name or path.stem, kind=kind)
+
+
+def save_npy(dataset: Dataset, path: str | Path) -> None:
+    """Write the raw value matrix to a ``.npy`` file."""
+    np.save(Path(path), dataset.values)
+
+
+def load_npy(path: str | Path, name: str | None = None, kind: str = "custom") -> Dataset:
+    """Read a value matrix from a ``.npy`` file."""
+    path = Path(path)
+    values = np.load(path)
+    return Dataset(values, name=name or path.stem, kind=kind)

@@ -1,0 +1,116 @@
+"""Synthetic equivalents of the paper's real datasets (HOUSE, NBA, WEATHER).
+
+Section 6.3 evaluates on three real datasets from Chester et al. [6] that are
+not redistributable in this offline environment.  Each is replaced by a
+generator that reproduces the property the paper says drives its behaviour:
+
+- **HOUSE** (6-D, 127,931 points): household *expenditure shares* — spending
+  more on one category means less on another, so the data is anti-correlated
+  ("HOUSE is an AC type dataset", §6.3).  Simulated as Dirichlet budget
+  shares scaled by a heavy-tailed total budget.
+- **NBA** (8-D, 17,264 points): per-season player statistics — good players
+  are good across the board, so the data is positively correlated, and the
+  dataset is *small* (§6.3 stresses its size limits the boost).  Simulated
+  with a latent skill factor plus per-stat noise, then flipped into the
+  min-is-better convention.
+- **WEATHER** (15-D, 566,268 points): station measurements with "a large
+  number of duplicate values in several dimensions" (§6.3).  Simulated as a
+  seasonal mixture coarsely quantised per dimension so that duplicates are
+  frequent.
+
+Default cardinalities match the paper; pass a smaller ``n`` to scale down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset import Dataset
+from repro.errors import InvalidParameterError
+
+HOUSE_CARDINALITY = 127_931
+NBA_CARDINALITY = 17_264
+WEATHER_CARDINALITY = 566_268
+
+_HOUSE_DIMS = 6
+_NBA_DIMS = 8
+_WEATHER_DIMS = 15
+
+# Coarse quantisation levels per WEATHER dimension; low levels produce the
+# duplicate-heavy columns the paper describes.
+_WEATHER_LEVELS = (8, 12, 16, 20, 24, 32, 40, 48, 64, 80, 96, 128, 160, 200, 256)
+
+
+def house(n: int = HOUSE_CARDINALITY, seed: int | None = 0) -> Dataset:
+    """HOUSE-like dataset: 6-D anti-correlated expenditure amounts.
+
+    Lower spending is preferred in every dimension, so the dataset is
+    already in the library's minimisation convention.
+    """
+    _check_cardinality(n)
+    rng = np.random.default_rng(seed)
+    shares = rng.dirichlet(alpha=np.full(_HOUSE_DIMS, 0.8), size=n)
+    budget = rng.lognormal(mean=10.0, sigma=0.5, size=n)
+    values = shares * budget[:, None]
+    return Dataset(
+        values,
+        name=f"HOUSE-{n}",
+        kind="REAL",
+        metadata={"source": "synthetic-equivalent", "profile": "AC", "seed": seed},
+    )
+
+
+def nba(n: int = NBA_CARDINALITY, seed: int | None = 0) -> Dataset:
+    """NBA-like dataset: 8-D correlated player-season statistics.
+
+    Stats are generated as max-is-better (points, rebounds, ...) and flipped
+    into the minimisation convention before being returned.
+    """
+    _check_cardinality(n)
+    rng = np.random.default_rng(seed)
+    skill = rng.normal(0.0, 1.0, size=n)
+    loadings = np.linspace(0.9, 0.5, _NBA_DIMS)
+    noise = rng.normal(0.0, 0.55, size=(n, _NBA_DIMS))
+    stats = skill[:, None] * loadings[None, :] + noise
+    # Shift into a realistic non-negative range resembling per-game stats.
+    scales = np.array([25.0, 10.0, 8.0, 2.0, 1.5, 3.0, 45.0, 80.0])
+    offsets = np.array([8.0, 4.0, 3.0, 0.8, 0.5, 1.5, 40.0, 20.0])
+    raw = np.maximum(stats * (scales / 3.0) + offsets, 0.0)
+    flipped = raw.max(axis=0)[None, :] - raw
+    return Dataset(
+        flipped,
+        name=f"NBA-{n}",
+        kind="REAL",
+        metadata={"source": "synthetic-equivalent", "profile": "CO", "seed": seed},
+    )
+
+
+def weather(n: int = WEATHER_CARDINALITY, seed: int | None = 0) -> Dataset:
+    """WEATHER-like dataset: 15-D with heavy duplicate values per dimension."""
+    _check_cardinality(n)
+    rng = np.random.default_rng(seed)
+    season = rng.integers(0, 4, size=n)
+    season_centers = rng.random((4, _WEATHER_DIMS))
+    continuous = np.clip(
+        season_centers[season] + rng.normal(0.0, 0.2, size=(n, _WEATHER_DIMS)),
+        0.0,
+        1.0,
+    )
+    values = np.empty_like(continuous)
+    for dim, levels in enumerate(_WEATHER_LEVELS):
+        values[:, dim] = np.round(continuous[:, dim] * (levels - 1)) / (levels - 1)
+    return Dataset(
+        values,
+        name=f"WEATHER-{n}",
+        kind="REAL",
+        metadata={
+            "source": "synthetic-equivalent",
+            "profile": "duplicates",
+            "seed": seed,
+        },
+    )
+
+
+def _check_cardinality(n: int) -> None:
+    if n < 1:
+        raise InvalidParameterError(f"cardinality must be >= 1, got {n}")

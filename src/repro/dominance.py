@@ -1,0 +1,126 @@
+"""Dominance kernels: scalar and vectorised, with exact test accounting.
+
+Definition 3.1 of the paper (minimisation convention): ``p`` dominates ``q``
+when ``p[i] <= q[i]`` in every dimension and ``p[k] < q[k]`` in at least one.
+
+Pure-Python pairwise loops are the bottleneck of any skyline reproduction in
+Python, so this module also provides *block* kernels: one candidate point is
+compared against a contiguous block of points in a single numpy expression.
+The test count charged to the :class:`~repro.stats.counters.DominanceCounter`
+is exactly what a sequential early-exit loop would pay — ``index of the first
+dominator + 1``, or the block length when no row dominates — so the mean
+dominance test numbers reported by the harness are identical to a scalar
+implementation while running at numpy speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.counters import DominanceCounter
+
+__all__ = [
+    "dominates",
+    "weakly_dominates",
+    "incomparable",
+    "dominating_subspace",
+    "dominating_subspaces",
+    "first_dominator",
+    "dominance_mask",
+]
+
+
+def dominates(p: np.ndarray, q: np.ndarray, counter: DominanceCounter | None = None) -> bool:
+    """True when ``p`` dominates ``q`` (Definition 3.1, minimisation).
+
+    >>> import numpy as np
+    >>> dominates(np.array([1.0, 2.0]), np.array([1.0, 3.0]))
+    True
+    >>> dominates(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+    False
+    """
+    if counter is not None:
+        counter.add()
+    return bool(np.all(p <= q) and np.any(p < q))
+
+
+def weakly_dominates(
+    p: np.ndarray, q: np.ndarray, counter: DominanceCounter | None = None
+) -> bool:
+    """True when ``p[i] <= q[i]`` in every dimension (``p`` ≼ ``q``)."""
+    if counter is not None:
+        counter.add()
+    return bool(np.all(p <= q))
+
+
+def incomparable(p: np.ndarray, q: np.ndarray, counter: DominanceCounter | None = None) -> bool:
+    """True when neither point dominates the other (``p ~/~ q``)."""
+    if counter is not None:
+        counter.add(2)
+    return not dominates(p, q) and not dominates(q, p)
+
+
+def dominating_subspace(
+    q: np.ndarray, p: np.ndarray, counter: DominanceCounter | None = None
+) -> int:
+    """Dominating subspace ``D_{q<p}`` of ``q`` w.r.t. ``p`` as a bitmask.
+
+    Definition 3.4: the set of dimensions where ``q`` is strictly better
+    than ``p``.  An empty result means ``p`` weakly dominates ``q`` (or they
+    are equal); a full mask means ``q`` dominates ``p``.  Computing it
+    inspects one point pair, so one dominance test is charged.
+    """
+    if counter is not None:
+        counter.add()
+    strict = np.asarray(q) < np.asarray(p)
+    mask = 0
+    for dim in np.nonzero(strict)[0]:
+        mask |= 1 << int(dim)
+    return mask
+
+
+def dominating_subspaces(
+    block: np.ndarray, p: np.ndarray, counter: DominanceCounter | None = None
+) -> np.ndarray:
+    """``D_{q<p}`` bitmasks for every row ``q`` of ``block`` (vectorised).
+
+    Charges one dominance test per row, matching the scalar loop the Merge
+    algorithm (Algorithm 1, line 12) would otherwise run.  Returns an
+    ``int64`` array; valid for ``d <= 62``.
+    """
+    block = np.asarray(block)
+    if counter is not None:
+        counter.add(block.shape[0])
+    weights = np.left_shift(np.int64(1), np.arange(block.shape[1], dtype=np.int64))
+    return (block < p).astype(np.int64) @ weights
+
+
+def dominance_mask(block: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Boolean array: which rows of ``block`` dominate ``q`` (no accounting)."""
+    block = np.asarray(block)
+    le = np.all(block <= q, axis=1)
+    eq = np.all(block == q, axis=1)
+    return le & ~eq
+
+
+def first_dominator(
+    block: np.ndarray, q: np.ndarray, counter: DominanceCounter | None = None
+) -> int:
+    """Index of the first row of ``block`` that dominates ``q``, or ``-1``.
+
+    Charges exactly the tests a sequential early-exit scan would: the first
+    dominator's index + 1, or ``len(block)`` when nothing dominates.
+    """
+    block = np.asarray(block)
+    n = block.shape[0]
+    if n == 0:
+        return -1
+    dom = dominance_mask(block, q)
+    if dom.any():
+        idx = int(np.argmax(dom))
+        if counter is not None:
+            counter.add(idx + 1)
+        return idx
+    if counter is not None:
+        counter.add(n)
+    return -1

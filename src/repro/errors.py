@@ -1,0 +1,27 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so that callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidDatasetError(ReproError):
+    """A dataset is malformed: wrong shape, dtype, or contains NaN values."""
+
+
+class InvalidParameterError(ReproError):
+    """A user-supplied parameter is outside its documented domain."""
+
+
+class UnknownAlgorithmError(ReproError):
+    """The requested algorithm name is not present in the registry."""
+
+
+class DimensionMismatchError(ReproError):
+    """Two objects that must share a dimensionality do not."""

@@ -1,0 +1,33 @@
+"""Extensions implementing the paper's Section 7 perspectives.
+
+- :mod:`repro.extensions.streaming` — incremental skyline maintenance over
+  inserts and deletes, accelerated by the subset index (perspective 3:
+  "adapting the proposed method to updating data such as data streams").
+- :mod:`repro.extensions.skycube` — subspace skylines and full skycube
+  enumeration (the subspace-skyline problem family the introduction builds
+  on [3, 15, 23, 26]).
+- :mod:`repro.extensions.skyband` — the k-skyband operator, reusing the
+  paper's incomparability masks without the (unsound-for-k>1) pruning.
+- :mod:`repro.extensions.parallel` — two-phase multicore skyline in the
+  style of Chester et al. [6], the source of the paper's real datasets.
+"""
+
+from repro.extensions.parallel import parallel_skyline
+from repro.extensions.partialorder import PartialOrder, partial_order_skyline
+from repro.extensions.skyband import skyband, skyband_ids
+from repro.extensions.skycube import Skycube, subspace_skyline
+from repro.extensions.streaming import StreamingSkyline
+from repro.extensions.topk import dominance_score, top_k_dominating
+
+__all__ = [
+    "PartialOrder",
+    "Skycube",
+    "StreamingSkyline",
+    "dominance_score",
+    "parallel_skyline",
+    "partial_order_skyline",
+    "skyband",
+    "skyband_ids",
+    "subspace_skyline",
+    "top_k_dominating",
+]

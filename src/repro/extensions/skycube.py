@@ -1,0 +1,126 @@
+"""Subspace skylines and the skycube.
+
+The paper's introduction grounds the subset approach in subspace analysis
+([15, 22, 23, 26]) and the skycube [3, 23]: the collection of the skylines
+of *every* non-empty subspace.  This module provides both:
+
+- :func:`subspace_skyline` — the skyline of a projection onto a chosen
+  dimension subset (points equal on all projected dimensions are mutually
+  non-dominating, the standard "skyline of the projection" semantics);
+- :class:`Skycube` — all ``2^d - 1`` subspace skylines, queryable by
+  dimension subset, with per-subspace sizes for cube analysis.
+
+Each subspace is computed independently with a configurable algorithm;
+the cube is exponential in ``d`` by definition, so construction is guarded
+to ``d <= 16``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.algorithms.registry import get_algorithm
+from repro.dataset import Dataset, as_dataset
+from repro.errors import InvalidParameterError
+from repro.stats.counters import DominanceCounter
+from repro.structures import bitset
+
+_MAX_CUBE_DIMS = 16
+
+
+def subspace_skyline(
+    data: Dataset | np.ndarray,
+    dims: Sequence[int],
+    algorithm: str = "sfs",
+    counter: DominanceCounter | None = None,
+) -> np.ndarray:
+    """Skyline row ids of ``data`` projected onto 0-based dimensions ``dims``.
+
+    >>> import numpy as np
+    >>> pts = np.array([[1.0, 9.0], [2.0, 1.0], [3.0, 3.0]])
+    >>> list(subspace_skyline(pts, dims=[0]))
+    [0]
+    """
+    dataset = as_dataset(data)
+    dims = sorted(set(int(dim) for dim in dims))
+    if not dims:
+        raise InvalidParameterError("a subspace needs at least one dimension")
+    if dims[0] < 0 or dims[-1] >= dataset.dimensionality:
+        raise InvalidParameterError(
+            f"dimensions {dims} outside [0, {dataset.dimensionality})"
+        )
+    projected = Dataset(
+        dataset.values[:, dims],
+        name=f"{dataset.name}[dims={dims}]",
+        kind=dataset.kind,
+    )
+    result = get_algorithm(algorithm).compute(projected, counter=counter)
+    return result.indices
+
+
+class Skycube:
+    """All subspace skylines of a dataset.
+
+    >>> import numpy as np
+    >>> cube = Skycube(np.array([[1.0, 2.0], [2.0, 1.0], [3.0, 3.0]]))
+    >>> sorted(cube.skyline([0, 1]))
+    [0, 1]
+    >>> cube.size([0]), cube.size([1])
+    (1, 1)
+    """
+
+    def __init__(
+        self,
+        data: Dataset | np.ndarray,
+        algorithm: str = "sfs",
+        counter: DominanceCounter | None = None,
+    ) -> None:
+        dataset = as_dataset(data)
+        d = dataset.dimensionality
+        if d > _MAX_CUBE_DIMS:
+            raise InvalidParameterError(
+                f"skycube of a {d}-D dataset has 2^{d}-1 cuboids; "
+                f"refusing above d={_MAX_CUBE_DIMS}"
+            )
+        self._dataset = dataset
+        self._counter = counter if counter is not None else DominanceCounter()
+        self._cuboids: dict[int, np.ndarray] = {}
+        for mask in range(1, 1 << d):
+            dims = bitset.to_dims(mask)
+            self._cuboids[mask] = subspace_skyline(
+                dataset, dims, algorithm=algorithm, counter=self._counter
+            )
+
+    @property
+    def dimensionality(self) -> int:
+        return self._dataset.dimensionality
+
+    @property
+    def counter(self) -> DominanceCounter:
+        """Total dominance-test accounting across all cuboids."""
+        return self._counter
+
+    def __len__(self) -> int:
+        """Number of cuboids (``2^d - 1``)."""
+        return len(self._cuboids)
+
+    def skyline(self, dims: Sequence[int]) -> np.ndarray:
+        """Skyline ids of the subspace spanned by 0-based ``dims``."""
+        mask = bitset.from_dims(dims)
+        cuboid = self._cuboids.get(mask)
+        if cuboid is None:
+            raise InvalidParameterError(f"dimensions {list(dims)} not in this cube")
+        return cuboid
+
+    def size(self, dims: Sequence[int]) -> int:
+        """Skyline size of one subspace."""
+        return int(self.skyline(dims).shape[0])
+
+    def sizes(self) -> dict[tuple[int, ...], int]:
+        """Mapping of dimension tuple → skyline size, for cube analysis."""
+        return {
+            tuple(bitset.to_dims(mask)): int(ids.shape[0])
+            for mask, ids in self._cuboids.items()
+        }

@@ -1,0 +1,199 @@
+"""Incremental skyline maintenance over a stream of inserts and deletes.
+
+Section 7, perspective (3): "adapting the proposed method to updating data
+such as data streams".  The batch pipeline indexes skyline points by their
+maximum dominating subspace relative to *pivot skyline points*; streaming
+generalises the idea with one observation: the superset property of
+Lemma 4.3 (``q1 < q2 ⇒ D_{q1<A} ⊇ D_{q2<A}``) holds for **any** fixed set of
+anchor points ``A``, whether or not they are (or remain) skyline points.
+
+The structure therefore freezes the first ``anchors`` observed points as
+pure geometric anchors, computes every point's subspace mask against them,
+and keeps:
+
+- the current skyline in a :class:`~repro.core.subset_index.SkylineIndex`
+  keyed by those masks — candidate dominators for any probe are retrieved
+  with one subset query;
+- every dominated live point in a buffer, so deletions of skyline points
+  can promote newly exposed points.
+
+Costs: ``insert`` is a subset query plus one vectorised demotion sweep over
+the skyline; ``delete`` of a skyline point re-probes each buffered point
+against the index in ascending coordinate-sum order (promotions first, so
+a promoted point immediately shields the points it dominates).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.subset_index import SkylineIndex
+from repro.dominance import first_dominator
+from repro.errors import DimensionMismatchError, InvalidParameterError
+from repro.stats.counters import DominanceCounter
+
+
+class StreamingSkyline:
+    """A dynamic skyline over inserts and deletes, subset-index accelerated.
+
+    Parameters
+    ----------
+    d:
+        Dimensionality of the stream.
+    anchors:
+        Number of leading points frozen as mask anchors.  More anchors give
+        finer subspace partitions (fewer candidates per query) at the cost
+        of longer mask computation per arrival.
+
+    >>> sky = StreamingSkyline(d=2)
+    >>> a = sky.insert([1.0, 4.0]); b = sky.insert([2.0, 2.0])
+    >>> c = sky.insert([3.0, 3.0])  # dominated by b
+    >>> sorted(sky.skyline_ids()) == [a, b]
+    True
+    >>> sky.delete(b)
+    >>> sorted(sky.skyline_ids()) == [a, c]
+    True
+    """
+
+    def __init__(self, d: int, anchors: int = 8, counter: DominanceCounter | None = None) -> None:
+        if d < 1:
+            raise InvalidParameterError(f"dimensionality must be >= 1, got {d}")
+        if anchors < 1:
+            raise InvalidParameterError(f"anchors must be >= 1, got {anchors}")
+        self._d = d
+        self._max_anchors = anchors
+        self._anchor_rows: list[np.ndarray] = []
+        self._counter = counter if counter is not None else DominanceCounter()
+        self._index = SkylineIndex(d)
+        self._points: dict[int, np.ndarray] = {}
+        self._masks: dict[int, int] = {}
+        self._sky: set[int] = set()
+        self._buffer: set[int] = set()
+        self._next_id = 0
+
+    @property
+    def dimensionality(self) -> int:
+        return self._d
+
+    @property
+    def counter(self) -> DominanceCounter:
+        """Dominance-test accounting across the stream's lifetime."""
+        return self._counter
+
+    def __len__(self) -> int:
+        """Number of live (inserted, not deleted) points."""
+        return len(self._points)
+
+    def skyline_ids(self) -> list[int]:
+        """Sorted ids of the current skyline."""
+        return sorted(self._sky)
+
+    def skyline_points(self) -> np.ndarray:
+        """Coordinates of the current skyline, ordered by id."""
+        ids = self.skyline_ids()
+        if not ids:
+            return np.empty((0, self._d))
+        return np.stack([self._points[i] for i in ids])
+
+    def insert(self, point: Iterable[float]) -> int:
+        """Insert a point; returns its stream id."""
+        row = np.asarray(list(point), dtype=np.float64)
+        if row.shape != (self._d,):
+            raise DimensionMismatchError(
+                f"expected a point of {self._d} dims, got shape {row.shape}"
+            )
+        if not np.isfinite(row).all():
+            raise InvalidParameterError("point contains NaN or infinite values")
+        point_id = self._next_id
+        self._next_id += 1
+        self._points[point_id] = row
+        if len(self._anchor_rows) < self._max_anchors:
+            # Lemma 4.3's superset property only holds between masks
+            # computed against the SAME anchor set, so growing the set
+            # forces a recomputation of every live mask (cheap: it can
+            # happen at most `anchors` times, at stream start).
+            self._anchor_rows.append(row.copy())
+            self._recompute_masks()
+        mask = self._mask_of(row)
+        self._masks[point_id] = mask
+
+        candidate_ids = self._index.query(mask, self._counter)
+        block = self._gather(candidate_ids)
+        if first_dominator(block, row, self._counter) != -1:
+            self._buffer.add(point_id)
+            return point_id
+
+        # New skyline point: demote every skyline point it now dominates.
+        sky_ids = sorted(self._sky)
+        if sky_ids:
+            sky_block = self._gather(sky_ids)
+            self._counter.add(len(sky_ids))
+            dominated = np.all(row <= sky_block, axis=1) & ~np.all(
+                row == sky_block, axis=1
+            )
+            for demoted in np.asarray(sky_ids, dtype=np.intp)[dominated]:
+                demoted = int(demoted)
+                self._sky.discard(demoted)
+                self._index.remove(demoted, self._masks[demoted])
+                self._buffer.add(demoted)
+        self._sky.add(point_id)
+        self._index.put(point_id, mask)
+        return point_id
+
+    def delete(self, point_id: int) -> None:
+        """Delete a live point; promotes newly exposed buffered points."""
+        if point_id not in self._points:
+            raise KeyError(f"point {point_id} is not live")
+        row = self._points.pop(point_id)
+        mask = self._masks.pop(point_id)
+        if point_id in self._buffer:
+            self._buffer.discard(point_id)
+            return
+        self._sky.discard(point_id)
+        self._index.remove(point_id, mask)
+
+        # Promotion sweep: only points the deleted row dominated can become
+        # skyline.  Ascending coordinate sum guarantees that a promoted
+        # point is indexed before anything it dominates is probed.
+        exposed = [
+            buf_id
+            for buf_id in self._buffer
+            if self._charged_dominates(row, self._points[buf_id])
+        ]
+        exposed.sort(key=lambda i: float(self._points[i].sum()))
+        for buf_id in exposed:
+            candidate_ids = self._index.query(self._masks[buf_id], self._counter)
+            block = self._gather(candidate_ids)
+            if first_dominator(block, self._points[buf_id], self._counter) == -1:
+                self._buffer.discard(buf_id)
+                self._sky.add(buf_id)
+                self._index.put(buf_id, self._masks[buf_id])
+
+    def _recompute_masks(self) -> None:
+        """Refresh every live mask and rebuild the index for new anchors."""
+        self._index.clear()
+        for pid, row in self._points.items():
+            self._masks[pid] = self._mask_of(row)
+        for pid in self._sky:
+            self._index.put(pid, self._masks[pid])
+
+    def _charged_dominates(self, p: np.ndarray, q: np.ndarray) -> bool:
+        self._counter.add()
+        return bool(np.all(p <= q) and np.any(p < q))
+
+    def _mask_of(self, row: np.ndarray) -> int:
+        anchors = np.stack(self._anchor_rows)
+        self._counter.add(anchors.shape[0])
+        strict = row[None, :] < anchors
+        mask = 0
+        for dim in np.nonzero(strict.any(axis=0))[0]:
+            mask |= 1 << int(dim)
+        return mask
+
+    def _gather(self, ids: Iterable[int]) -> np.ndarray:
+        ids = list(ids)
+        if not ids:
+            return np.empty((0, self._d))
+        return np.stack([self._points[i] for i in ids])

@@ -1,0 +1,17 @@
+"""Instrumentation: dominance-test counters and evaluation metrics."""
+
+from repro.stats.counters import DominanceCounter
+from repro.stats.metrics import (
+    MetricRow,
+    mean_dominance_tests,
+    performance_gain,
+    summarize,
+)
+
+__all__ = [
+    "DominanceCounter",
+    "MetricRow",
+    "mean_dominance_tests",
+    "performance_gain",
+    "summarize",
+]

@@ -1,0 +1,59 @@
+"""Expected skyline cardinality under uniform independence.
+
+Godfrey et al. [9, 10] analyse the average-case behaviour of skyline
+algorithms under the *uniform independence* (UI) and *component
+independence* assumptions.  The classical result (Godfrey; originally
+Bentley et al.): with independent, duplicate-free dimensions, the expected
+skyline size of ``n`` points in ``d`` dimensions is the generalised
+harmonic number
+
+    E[|skyline|] = H_{d-1, n},   H_{0, n} = 1,
+    H_{k, n} = sum_{i=1..n} H_{k-1, i} / i,
+
+which grows as ``(ln n)^{d-1} / (d-1)!``.  The benchmark harness uses this
+to sanity-check the UI generator's Table 1 shape, and downstream users can
+use it to size skyline buffers before computing anything.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidParameterError
+
+
+def expected_skyline_size(n: int, d: int) -> float:
+    """``E[|skyline|] = H_{d-1, n}`` under uniform independence.
+
+    Exact O(d·n) dynamic program over the harmonic recurrence.
+
+    >>> expected_skyline_size(100, 1)
+    1.0
+    >>> round(expected_skyline_size(100, 2), 4)   # H_{1,100} = H_100
+    5.1874
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    if d < 1:
+        raise InvalidParameterError(f"d must be >= 1, got {d}")
+    # current[i-1] holds H_{k, i}; start with H_0 = 1 for every prefix.
+    current = [1.0] * n
+    for _ in range(d - 1):
+        running = 0.0
+        previous = current
+        current = []
+        for i in range(1, n + 1):
+            running += previous[i - 1] / i
+            current.append(running)
+    return current[n - 1]
+
+
+def expected_skyline_size_asymptotic(n: int, d: int) -> float:
+    """The closed-form approximation ``(ln n)^{d-1} / (d-1)!``."""
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    if d < 1:
+        raise InvalidParameterError(f"d must be >= 1, got {d}")
+    if n == 1:
+        return 1.0
+    return math.log(n) ** (d - 1) / math.factorial(d - 1)

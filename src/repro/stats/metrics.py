@@ -1,0 +1,72 @@
+"""Evaluation metrics used by the benchmark harness.
+
+Mirrors Section 6 of the paper: the *mean dominance test number* (DT), the
+*elapsed processor time* (RT), and the *performance gain* ratio between an
+algorithm and its Subset-boosted variant.  Gains below 1 are rendered as
+``"-"`` exactly as the paper's tables do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def mean_dominance_tests(total_tests: int, cardinality: int) -> float:
+    """``DT = total dominance tests / N`` (Section 6, after [14])."""
+    if cardinality <= 0:
+        raise ValueError(f"cardinality must be positive, got {cardinality}")
+    return total_tests / cardinality
+
+
+def performance_gain(base: float, boosted: float) -> float | None:
+    """Ratio ``base / boosted``; ``None`` when there is no gain (ratio <= 1).
+
+    The paper's tables print ``"-"`` when the boost does not help; ``None``
+    is this library's machine-readable equivalent.
+    """
+    if boosted < 0 or base < 0:
+        raise ValueError("metric values must be non-negative")
+    if boosted == 0:
+        return None if base == 0 else float("inf")
+    ratio = base / boosted
+    return ratio if ratio > 1.0 else None
+
+
+def format_gain(gain: float | None) -> str:
+    """Render a gain the way the paper does: ``x 4.84`` or ``-``."""
+    if gain is None:
+        return "-"
+    if gain == float("inf"):
+        return "x inf"
+    return f"x {gain:.2f}"
+
+
+@dataclass(frozen=True)
+class MetricRow:
+    """One (algorithm, workload) measurement row for the harness tables."""
+
+    algorithm: str
+    dominance_tests: int
+    cardinality: int
+    elapsed_seconds: float
+    skyline_size: int
+
+    @property
+    def mean_dt(self) -> float:
+        return mean_dominance_tests(self.dominance_tests, self.cardinality)
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed_seconds * 1000.0
+
+
+def summarize(rows: list[MetricRow]) -> dict[str, dict[str, float]]:
+    """Index rows by algorithm name, exposing DT/RT for table formatting."""
+    summary: dict[str, dict[str, float]] = {}
+    for row in rows:
+        summary[row.algorithm] = {
+            "dt": row.mean_dt,
+            "rt_ms": row.elapsed_ms,
+            "skyline": float(row.skyline_size),
+        }
+    return summary

@@ -1,0 +1,38 @@
+"""Low-level data structures used as substrates by the skyline algorithms.
+
+- :mod:`repro.structures.bitset` — integer-backed bitsets for subspaces.
+- :mod:`repro.structures.bplustree` — in-memory B+-tree (Index algorithm).
+- :mod:`repro.structures.rtree` — STR bulk-loaded R-tree (BBS algorithm).
+- :mod:`repro.structures.zorder` — Z-order (Morton) addresses (Z-order scan).
+"""
+
+from repro.structures.bitset import (
+    bits_of,
+    complement,
+    from_dims,
+    is_proper_subset,
+    is_subset,
+    is_superset,
+    popcount,
+    to_dims,
+)
+from repro.structures.bplustree import BPlusTree
+from repro.structures.rtree import Rect, RTree
+from repro.structures.zorder import grid_coordinates, z_address, z_addresses
+
+__all__ = [
+    "BPlusTree",
+    "RTree",
+    "Rect",
+    "bits_of",
+    "complement",
+    "from_dims",
+    "grid_coordinates",
+    "is_proper_subset",
+    "is_subset",
+    "is_superset",
+    "popcount",
+    "to_dims",
+    "z_address",
+    "z_addresses",
+]

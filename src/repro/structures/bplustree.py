@@ -1,0 +1,237 @@
+"""A minimal in-memory B+-tree.
+
+The Index skyline algorithm of Tan et al. (VLDB 2001) organises points into
+``d`` lists, each sorted by the point's minimum coordinate and stored in a
+B+-tree so that the lists can be scanned in key order and probed by key.  The
+paper under reproduction cites it as the canonical index-based sorting
+algorithm, so the substrate is implemented here from scratch.
+
+Keys are ordered by ``<``; duplicate keys are supported by storing all values
+for a key in the same leaf slot.  The tree supports insertion, point lookup,
+ordered iteration and half-open range scans.  Deletion is not needed by any
+algorithm in this library and is intentionally omitted.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+from repro.errors import InvalidParameterError
+
+
+class _Node:
+    """A B+-tree node; ``leaf`` nodes carry values, inner nodes carry children."""
+
+    __slots__ = ("keys", "children", "values", "next")
+
+    def __init__(self, leaf: bool) -> None:
+        self.keys: list[Any] = []
+        self.children: list[_Node] | None = None if leaf else []
+        self.values: list[list[Any]] | None = [] if leaf else None
+        self.next: _Node | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.values is not None
+
+
+class BPlusTree:
+    """An in-memory B+-tree mapping ordered keys to lists of values.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of keys per node; nodes split when they exceed it.
+        Must be at least 3.
+
+    >>> tree = BPlusTree(order=4)
+    >>> for k in [5, 1, 3, 2, 4]:
+    ...     tree.insert(k, str(k))
+    >>> [k for k, _ in tree.items()]
+    [1, 2, 3, 4, 5]
+    >>> tree.get(3)
+    ['3']
+    """
+
+    def __init__(self, order: int = 32) -> None:
+        if order < 3:
+            raise InvalidParameterError(f"B+-tree order must be >= 3, got {order}")
+        self._order = order
+        self._root: _Node = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        """Number of stored values (duplicates counted)."""
+        return self._size
+
+    @property
+    def order(self) -> int:
+        return self._order
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert ``value`` under ``key``; duplicate keys accumulate."""
+        root = self._root
+        split = self._insert(root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Node(leaf=False)
+            new_root.keys = [sep]
+            new_root.children = [root, right]
+            self._root = new_root
+        self._size += 1
+
+    def _insert(self, node: _Node, key: Any, value: Any) -> tuple[Any, _Node] | None:
+        if node.is_leaf:
+            assert node.values is not None
+            idx = bisect.bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx].append(value)
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, [value])
+            if len(node.keys) > self._order:
+                return self._split_leaf(node)
+            return None
+        assert node.children is not None
+        idx = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[idx], key, value)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.keys) > self._order:
+            return self._split_inner(node)
+        return None
+
+    def _split_leaf(self, node: _Node) -> tuple[Any, _Node]:
+        assert node.values is not None
+        mid = len(node.keys) // 2
+        right = _Node(leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next = node.next
+        node.next = right
+        return right.keys[0], right
+
+    def _split_inner(self, node: _Node) -> tuple[Any, _Node]:
+        assert node.children is not None
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(leaf=False)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    def get(self, key: Any) -> list[Any]:
+        """All values stored under ``key`` (empty list when absent)."""
+        node = self._leaf_for(key)
+        assert node.values is not None
+        idx = bisect.bisect_left(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            return list(node.values[idx])
+        return []
+
+    def _leaf_for(self, key: Any) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            assert node.children is not None
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """Yield ``(key, value)`` pairs in key order, duplicates in insertion order."""
+        node: _Node | None = self._root
+        while node is not None and not node.is_leaf:
+            assert node.children is not None
+            node = node.children[0]
+        while node is not None:
+            assert node.values is not None
+            for key, values in zip(node.keys, node.values):
+                for value in values:
+                    yield key, value
+            node = node.next
+
+    def keys(self) -> Iterator[Any]:
+        """Yield distinct keys in increasing order."""
+        node: _Node | None = self._root
+        while node is not None and not node.is_leaf:
+            assert node.children is not None
+            node = node.children[0]
+        while node is not None:
+            yield from node.keys
+            node = node.next
+
+    def range(self, lo: Any, hi: Any) -> Iterator[tuple[Any, Any]]:
+        """Yield pairs with ``lo <= key < hi`` in key order."""
+        node = self._leaf_for(lo)
+        while node is not None:
+            assert node.values is not None
+            for key, values in zip(node.keys, node.values):
+                if key < lo:
+                    continue
+                if key >= hi:
+                    return
+                for value in values:
+                    yield key, value
+            node = node.next
+
+    def min_item(self) -> tuple[Any, Any]:
+        """The smallest key and its first value; raises on an empty tree."""
+        for item in self.items():
+            return item
+        raise KeyError("min_item() on an empty B+-tree")
+
+    def check_invariants(self) -> None:
+        """Validate structural invariants; used by the test suite.
+
+        Raises ``AssertionError`` when the tree is malformed.
+        """
+        leaf_depths: set[int] = set()
+        self._check_node(self._root, depth=0, leaf_depths=leaf_depths, lo=None, hi=None)
+        assert len(leaf_depths) <= 1, f"leaves at different depths: {leaf_depths}"
+        keys = list(self.keys())
+        assert keys == sorted(keys), "leaf chain is not in key order"
+        assert len(keys) == len(set(keys)), "duplicate key slots in leaf chain"
+
+    def _check_node(
+        self,
+        node: _Node,
+        depth: int,
+        leaf_depths: set[int],
+        lo: Any,
+        hi: Any,
+    ) -> None:
+        assert node.keys == sorted(node.keys)
+        if node is not self._root:
+            assert len(node.keys) >= 1
+        for key in node.keys:
+            if lo is not None:
+                assert key >= lo, f"key {key} below separator {lo}"
+            if hi is not None:
+                assert key < hi, f"key {key} not below separator {hi}"
+        if node.is_leaf:
+            assert node.values is not None
+            assert len(node.values) == len(node.keys)
+            leaf_depths.add(depth)
+            return
+        assert node.children is not None
+        assert len(node.children) == len(node.keys) + 1
+        bounds = [lo, *node.keys, hi]
+        for child, child_lo, child_hi in zip(node.children, bounds, bounds[1:]):
+            self._check_node(child, depth + 1, leaf_depths, child_lo, child_hi)
+
+
+def bulk_load(pairs: Iterable[tuple[Any, Any]], order: int = 32) -> BPlusTree:
+    """Build a B+-tree from an iterable of ``(key, value)`` pairs."""
+    tree = BPlusTree(order=order)
+    for key, value in pairs:
+        tree.insert(key, value)
+    return tree

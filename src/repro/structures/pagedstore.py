@@ -1,0 +1,110 @@
+"""A simulated external-memory substrate with page I/O accounting.
+
+BNL, LESS and D&C were designed as *external* algorithms: their original
+cost model counts page reads and writes, not only dominance tests (see the
+paper's §2 discussion of Godfrey et al. and Sheng & Tao's I/O-efficient
+analysis).  Real disks are unavailable here, so this module simulates one:
+rows live in fixed-size pages, every page transfer is charged to an
+:class:`IOCounter`, and algorithms that want external-memory fidelity
+(e.g. :class:`repro.algorithms.external.ExternalBNL`) stream pages instead
+of touching rows directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+@dataclass
+class IOCounter:
+    """Page-transfer tally for one simulated-disk session."""
+
+    reads: int = 0
+    writes: int = 0
+
+    def read(self, n: int = 1) -> None:
+        self.reads += n
+
+    def write(self, n: int = 1) -> None:
+        self.writes += n
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+class PagedFile:
+    """A sequence of ``(row_id, row)`` records stored in fixed-size pages.
+
+    Reading iterates page by page, charging one read per page; appending
+    buffers rows and charges one write per flushed page.  ``flush`` must be
+    called before reading back a file that has buffered rows.
+    """
+
+    def __init__(self, io: IOCounter, page_size: int) -> None:
+        if page_size < 1:
+            raise InvalidParameterError(f"page_size must be >= 1, got {page_size}")
+        self._io = io
+        self._page_size = page_size
+        self._pages: list[list[tuple[int, np.ndarray]]] = []
+        self._buffer: list[tuple[int, np.ndarray]] = []
+
+    @classmethod
+    def from_rows(
+        cls,
+        io: IOCounter,
+        page_size: int,
+        values: np.ndarray,
+        charge_writes: bool = False,
+    ) -> "PagedFile":
+        """Build a file holding every row of ``values`` (ids = row indices).
+
+        The initial input file is assumed to pre-exist on disk, so writes
+        are not charged unless ``charge_writes`` is set.
+        """
+        file = cls(io, page_size)
+        for row_id in range(values.shape[0]):
+            file._buffer.append((row_id, values[row_id]))
+            if len(file._buffer) == page_size:
+                file.flush(charge=charge_writes)
+        file.flush(charge=charge_writes)
+        return file
+
+    @property
+    def page_size(self) -> int:
+        return self._page_size
+
+    @property
+    def n_pages(self) -> int:
+        return len(self._pages)
+
+    def __len__(self) -> int:
+        """Number of stored records (buffered rows included)."""
+        return sum(len(page) for page in self._pages) + len(self._buffer)
+
+    def append(self, row_id: int, row: np.ndarray) -> None:
+        """Buffer one record; a full buffer flushes (and charges) a page."""
+        self._buffer.append((row_id, row))
+        if len(self._buffer) == self._page_size:
+            self.flush()
+
+    def flush(self, charge: bool = True) -> None:
+        """Write the partial buffer out as a page (no-op when empty)."""
+        if not self._buffer:
+            return
+        self._pages.append(self._buffer)
+        self._buffer = []
+        if charge:
+            self._io.write()
+
+    def pages(self):
+        """Yield pages as ``[(row_id, row), ...]`` lists, charging reads."""
+        if self._buffer:
+            raise InvalidParameterError("flush() the file before reading it back")
+        for page in self._pages:
+            self._io.read()
+            yield page

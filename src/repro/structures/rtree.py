@@ -1,0 +1,289 @@
+"""An in-memory R-tree with STR bulk loading.
+
+BBS (Papadias et al., SIGMOD 2003) performs a best-first traversal of an
+R-tree over the dataset, expanding entries in increasing *mindist* order
+(the L1 distance from the origin to the entry's minimum bounding rectangle).
+This module supplies that substrate: an STR (Sort-Tile-Recursive) bulk-loaded
+R-tree plus a conventional least-enlargement insert for incremental use.
+
+The tree stores point entries ``(point_id, coords)``; rectangles are plain
+``Rect`` objects with ``low``/``high`` coordinate tuples.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned minimum bounding rectangle."""
+
+    low: tuple[float, ...]
+    high: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.low) != len(self.high):
+            raise InvalidParameterError("Rect low/high dimensionality mismatch")
+        if any(lo > hi for lo, hi in zip(self.low, self.high)):
+            raise InvalidParameterError(f"Rect has low > high: {self}")
+
+    @staticmethod
+    def of_point(coords: Sequence[float]) -> "Rect":
+        point = tuple(float(c) for c in coords)
+        return Rect(point, point)
+
+    @staticmethod
+    def union(rects: Sequence["Rect"]) -> "Rect":
+        if not rects:
+            raise InvalidParameterError("Rect.union of an empty sequence")
+        low = tuple(min(r.low[i] for r in rects) for i in range(len(rects[0].low)))
+        high = tuple(max(r.high[i] for r in rects) for i in range(len(rects[0].low)))
+        return Rect(low, high)
+
+    def contains(self, other: "Rect") -> bool:
+        return all(a <= b for a, b in zip(self.low, other.low)) and all(
+            a >= b for a, b in zip(self.high, other.high)
+        )
+
+    def mindist(self) -> float:
+        """L1 distance from the origin to the rectangle (BBS priority key)."""
+        return float(sum(max(lo, 0.0) for lo in self.low))
+
+    def enlargement(self, other: "Rect") -> float:
+        """Increase in L1 perimeter needed to absorb ``other``."""
+        merged = Rect.union([self, other])
+        return self._perimeter(merged) - self._perimeter(self)
+
+    @staticmethod
+    def _perimeter(rect: "Rect") -> float:
+        return float(sum(hi - lo for lo, hi in zip(rect.low, rect.high)))
+
+
+class _RNode:
+    __slots__ = ("rect", "children", "entries")
+
+    def __init__(
+        self,
+        rect: Rect,
+        children: list["_RNode"] | None,
+        entries: list[tuple[int, tuple[float, ...]]] | None,
+    ) -> None:
+        self.rect = rect
+        self.children = children
+        self.entries = entries
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.entries is not None
+
+
+class RTree:
+    """An R-tree over point data, bulk loaded with Sort-Tile-Recursive packing.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``; row ``i`` becomes entry ``(i, coords)``.
+    max_entries:
+        Node fan-out; both leaves and inner nodes hold at most this many
+        children.
+    """
+
+    def __init__(self, points: np.ndarray, max_entries: int = 16) -> None:
+        if max_entries < 2:
+            raise InvalidParameterError(f"max_entries must be >= 2, got {max_entries}")
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2:
+            raise InvalidParameterError(f"points must be 2-D, got shape {points.shape}")
+        self._max_entries = max_entries
+        self._d = points.shape[1]
+        self._size = points.shape[0]
+        self._root = self._bulk_load(points)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def dimensionality(self) -> int:
+        return self._d
+
+    @property
+    def root(self) -> "_RNode":
+        """Root node; exposed for best-first traversals such as BBS."""
+        return self._root
+
+    def _bulk_load(self, points: np.ndarray) -> _RNode:
+        n = points.shape[0]
+        if n == 0:
+            empty = Rect((0.0,) * self._d, (0.0,) * self._d)
+            return _RNode(empty, children=None, entries=[])
+        entries = [(int(i), tuple(float(v) for v in points[i])) for i in range(n)]
+        leaves = [
+            self._make_leaf(chunk) for chunk in self._str_tiles(entries, key_dim=0)
+        ]
+        level: list[_RNode] = leaves
+        while len(level) > 1:
+            packed = [
+                _RNode(
+                    Rect.union([c.rect for c in chunk]),
+                    children=list(chunk),
+                    entries=None,
+                )
+                for chunk in self._str_node_tiles(level)
+            ]
+            level = packed
+        return level[0]
+
+    def _make_leaf(self, entries: list[tuple[int, tuple[float, ...]]]) -> _RNode:
+        rect = Rect.union([Rect.of_point(coords) for _, coords in entries])
+        return _RNode(rect, children=None, entries=entries)
+
+    def _str_tiles(
+        self, entries: list[tuple[int, tuple[float, ...]]], key_dim: int
+    ) -> Iterator[list[tuple[int, tuple[float, ...]]]]:
+        """Sort-Tile-Recursive partitioning of point entries into leaf chunks."""
+        cap = self._max_entries
+        n = len(entries)
+        if n <= cap:
+            yield entries
+            return
+        entries = sorted(entries, key=lambda e: e[1][key_dim])
+        n_slabs = max(1, math.ceil(math.sqrt(math.ceil(n / cap))))
+        slab_size = math.ceil(n / n_slabs)
+        next_dim = (key_dim + 1) % self._d
+        for start in range(0, n, slab_size):
+            slab = sorted(
+                entries[start : start + slab_size], key=lambda e: e[1][next_dim]
+            )
+            for chunk_start in range(0, len(slab), cap):
+                yield slab[chunk_start : chunk_start + cap]
+
+    def _str_node_tiles(self, nodes: list[_RNode]) -> Iterator[list[_RNode]]:
+        cap = self._max_entries
+        nodes = sorted(nodes, key=lambda nd: nd.rect.low[0])
+        n = len(nodes)
+        n_slabs = max(1, math.ceil(math.sqrt(math.ceil(n / cap))))
+        slab_size = math.ceil(n / n_slabs)
+        for start in range(0, n, slab_size):
+            slab = sorted(
+                nodes[start : start + slab_size],
+                key=lambda nd: nd.rect.low[1 % self._d],
+            )
+            for chunk_start in range(0, len(slab), cap):
+                yield slab[chunk_start : chunk_start + cap]
+
+    def insert(self, point_id: int, coords: Sequence[float]) -> None:
+        """Insert a point entry using least-enlargement subtree choice."""
+        coords_t = tuple(float(c) for c in coords)
+        if len(coords_t) != self._d:
+            raise InvalidParameterError(
+                f"point has {len(coords_t)} dims, tree has {self._d}"
+            )
+        rect = Rect.of_point(coords_t)
+        if self._size == 0:
+            self._root = _RNode(rect, children=None, entries=[(point_id, coords_t)])
+            self._size = 1
+            return
+        split = self._insert(self._root, point_id, coords_t, rect)
+        if split is not None:
+            left, right = split
+            self._root = _RNode(
+                Rect.union([left.rect, right.rect]),
+                children=[left, right],
+                entries=None,
+            )
+        self._size += 1
+
+    def _insert(
+        self,
+        node: _RNode,
+        point_id: int,
+        coords: tuple[float, ...],
+        rect: Rect,
+    ) -> tuple[_RNode, _RNode] | None:
+        node.rect = Rect.union([node.rect, rect])
+        if node.is_leaf:
+            assert node.entries is not None
+            node.entries.append((point_id, coords))
+            if len(node.entries) > self._max_entries:
+                return self._split_leaf(node)
+            return None
+        assert node.children is not None
+        best = min(node.children, key=lambda c: (c.rect.enlargement(rect)))
+        split = self._insert(best, point_id, coords, rect)
+        if split is None:
+            return None
+        left, right = split
+        node.children.remove(best)
+        node.children.extend([left, right])
+        if len(node.children) > self._max_entries:
+            return self._split_inner(node)
+        return None
+
+    def _split_leaf(self, node: _RNode) -> tuple[_RNode, _RNode]:
+        assert node.entries is not None
+        spread_dim = self._widest_dim([Rect.of_point(c) for _, c in node.entries])
+        ordered = sorted(node.entries, key=lambda e: e[1][spread_dim])
+        mid = len(ordered) // 2
+        return self._make_leaf(ordered[:mid]), self._make_leaf(ordered[mid:])
+
+    def _split_inner(self, node: _RNode) -> tuple[_RNode, _RNode]:
+        assert node.children is not None
+        spread_dim = self._widest_dim([c.rect for c in node.children])
+        ordered = sorted(node.children, key=lambda c: c.rect.low[spread_dim])
+        mid = len(ordered) // 2
+        left = _RNode(
+            Rect.union([c.rect for c in ordered[:mid]]),
+            children=ordered[:mid],
+            entries=None,
+        )
+        right = _RNode(
+            Rect.union([c.rect for c in ordered[mid:]]),
+            children=ordered[mid:],
+            entries=None,
+        )
+        return left, right
+
+    def _widest_dim(self, rects: list[Rect]) -> int:
+        merged = Rect.union(rects)
+        widths = [hi - lo for lo, hi in zip(merged.low, merged.high)]
+        return int(np.argmax(widths))
+
+    def iter_entries(self) -> Iterator[tuple[int, tuple[float, ...]]]:
+        """Yield all stored ``(point_id, coords)`` entries."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                assert node.entries is not None
+                yield from node.entries
+            else:
+                assert node.children is not None
+                stack.extend(node.children)
+
+    def check_invariants(self) -> None:
+        """Validate MBR containment and fan-out bounds; used by tests."""
+        count = self._check_node(self._root)
+        assert count == self._size, f"entry count {count} != size {self._size}"
+
+    def _check_node(self, node: _RNode) -> int:
+        if node.is_leaf:
+            assert node.entries is not None
+            assert len(node.entries) <= self._max_entries + 1
+            for _, coords in node.entries:
+                assert node.rect.contains(Rect.of_point(coords))
+            return len(node.entries)
+        assert node.children is not None
+        assert 1 <= len(node.children) <= self._max_entries + 1
+        total = 0
+        for child in node.children:
+            assert node.rect.contains(child.rect), "parent MBR does not contain child"
+            total += self._check_node(child)
+        return total

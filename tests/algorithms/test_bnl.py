@@ -1,0 +1,41 @@
+"""Unit tests for BNL's window and multi-pass behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bnl import BNL
+from repro.dataset import Dataset
+from repro.errors import InvalidParameterError
+from tests.conftest import brute_skyline_ids
+
+
+class TestWindow:
+    def test_window_size_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BNL(window_size=0)
+
+    def test_unbounded_window_single_pass(self, ui_small):
+        result = BNL(window_size=None).compute(ui_small)
+        assert list(result.indices) == brute_skyline_ids(ui_small.values)
+
+    @pytest.mark.parametrize("window", [1, 2, 7, 64])
+    def test_tiny_windows_force_overflow_passes(self, window, ui_small):
+        result = BNL(window_size=window).compute(ui_small)
+        assert list(result.indices) == brute_skyline_ids(ui_small.values)
+
+    def test_window_eviction(self):
+        # Second point dominates the first: the window entry must be evicted.
+        values = np.array([[5.0, 5.0], [1.0, 1.0], [4.0, 6.0]])
+        result = BNL().compute(Dataset(values))
+        assert list(result.indices) == [1]
+
+    def test_multi_pass_confirmation_of_incomparable_points(self):
+        # 20 mutually incomparable points with a window of 4 force five
+        # overflow passes; every point must still be confirmed skyline.
+        values = np.array([[float(i), float(20 - i)] for i in range(20)])
+        result = BNL(window_size=4).compute(Dataset(values))
+        assert list(result.indices) == list(range(20))
+
+    def test_duplicates_with_small_window(self, duplicate_heavy):
+        result = BNL(window_size=4).compute(duplicate_heavy)
+        assert list(result.indices) == brute_skyline_ids(duplicate_heavy.values)

@@ -1,0 +1,70 @@
+"""Unit tests for the BSkyTree baselines."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bskytree import BSkyTreeP, BSkyTreeS, _select_pivot
+from repro.algorithms.sfs import SFS
+from repro.dataset import Dataset
+from repro.errors import InvalidParameterError
+from repro.stats.counters import DominanceCounter
+from tests.conftest import brute_skyline_ids
+
+
+class TestPivotSelection:
+    def test_pivot_is_from_the_id_set(self, ui_small):
+        ids = np.arange(ui_small.cardinality, dtype=np.intp)
+        pivot = _select_pivot(ui_small.values, ids, DominanceCounter())
+        assert 0 <= pivot < ui_small.cardinality
+
+    def test_pivot_respects_id_restriction(self, ui_small):
+        ids = np.arange(10, 60, dtype=np.intp)
+        pivot = _select_pivot(ui_small.values, ids, DominanceCounter())
+        assert pivot in set(int(i) for i in ids)
+
+    def test_balanced_choice_on_crafted_data(self):
+        # Three sample-skyline points; the diagonal one is most balanced.
+        values = np.array([[0.02, 0.98], [0.45, 0.5], [0.98, 0.02], [0.9, 0.9]])
+        pivot = _select_pivot(values, np.arange(4, dtype=np.intp), DominanceCounter())
+        assert pivot == 1
+
+
+class TestBSkyTreeS:
+    def test_mask_filter_skips_tests_vs_sfs(self, ui_medium):
+        s_counter = DominanceCounter()
+        sfs_counter = DominanceCounter()
+        BSkyTreeS().compute(ui_medium, counter=s_counter)
+        SFS(sort_function="sum").compute(ui_medium, counter=sfs_counter)
+        assert s_counter.tests < sfs_counter.tests
+
+    def test_pivot_duplicates_kept(self):
+        values = np.array([[0.5, 0.5], [0.5, 0.5], [0.2, 0.9], [0.9, 0.9]])
+        result = BSkyTreeS().compute(Dataset(values))
+        assert list(result.indices) == brute_skyline_ids(values)
+
+
+class TestBSkyTreeP:
+    def test_leaf_size_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BSkyTreeP(leaf_size=0)
+
+    @pytest.mark.parametrize("leaf", [1, 8, 512])
+    def test_correct_for_any_leaf_size(self, leaf, ui_small):
+        result = BSkyTreeP(leaf_size=leaf).compute(ui_small)
+        assert list(result.indices) == brute_skyline_ids(ui_small.values)
+
+    def test_pivot_dominated_by_equality_pattern(self):
+        # Point 1 dominates the (likely) pivot 0 with one tied coordinate:
+        # its region mask is partial, exercising the final pivot check.
+        values = np.array(
+            [[0.5, 0.5, 0.5], [0.5, 0.4, 0.5], [0.9, 0.9, 0.8], [0.1, 0.9, 0.9]]
+        )
+        result = BSkyTreeP(leaf_size=1).compute(Dataset(values))
+        assert list(result.indices) == brute_skyline_ids(values)
+
+    def test_recursion_on_clustered_regions(self):
+        rng = np.random.default_rng(2)
+        clusters = [rng.random((80, 4)) * 0.3 + off for off in (0.0, 0.35, 0.7)]
+        values = np.vstack(clusters)
+        result = BSkyTreeP(leaf_size=8).compute(Dataset(values))
+        assert list(result.indices) == brute_skyline_ids(values)

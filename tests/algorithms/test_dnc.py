@@ -1,0 +1,38 @@
+"""Unit tests for the divide-and-conquer skyline."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dnc import DivideAndConquer
+from repro.dataset import Dataset
+from repro.errors import InvalidParameterError
+from tests.conftest import brute_skyline_ids
+
+
+class TestDivideAndConquer:
+    def test_leaf_size_validation(self):
+        with pytest.raises(InvalidParameterError):
+            DivideAndConquer(leaf_size=0)
+
+    @pytest.mark.parametrize("leaf", [1, 4, 1000])
+    def test_correct_for_any_leaf_size(self, leaf, ui_small):
+        result = DivideAndConquer(leaf_size=leaf).compute(ui_small)
+        assert list(result.indices) == brute_skyline_ids(ui_small.values)
+
+    def test_constant_first_dimension_falls_to_next(self):
+        rng = np.random.default_rng(0)
+        values = np.column_stack([np.ones(200), rng.random(200), rng.random(200)])
+        result = DivideAndConquer(leaf_size=8).compute(Dataset(values))
+        assert list(result.indices) == brute_skyline_ids(values)
+
+    def test_all_identical_partition(self):
+        values = np.ones((50, 3))
+        result = DivideAndConquer(leaf_size=4).compute(Dataset(values))
+        assert list(result.indices) == list(range(50))
+
+    def test_high_half_filtered_against_low_half(self):
+        # All of the high half is dominated by the best low-half point.
+        low = np.zeros((5, 2))
+        high = np.ones((5, 2))
+        result = DivideAndConquer(leaf_size=2).compute(Dataset(np.vstack([low, high])))
+        assert list(result.indices) == [0, 1, 2, 3, 4]

@@ -1,0 +1,60 @@
+"""Unit tests for the external-memory BNL."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.external import ExternalBNL
+from repro.dataset import Dataset
+from repro.errors import InvalidParameterError
+from repro.stats.counters import DominanceCounter
+from tests.conftest import brute_skyline_ids
+
+
+class TestExternalBNL:
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ExternalBNL(page_size=0)
+        with pytest.raises(InvalidParameterError):
+            ExternalBNL(memory_pages=1)
+
+    @pytest.mark.parametrize("memory_pages", [2, 3, 8])
+    def test_correct_under_tight_memory(self, memory_pages, ui_small):
+        algo = ExternalBNL(page_size=16, memory_pages=memory_pages)
+        result = algo.compute(ui_small)
+        assert list(result.indices) == brute_skyline_ids(ui_small.values)
+
+    def test_single_pass_io_profile(self, ui_small):
+        """With a huge window, one read pass and zero writes."""
+        counter = DominanceCounter()
+        algo = ExternalBNL(page_size=32, memory_pages=1000)
+        algo.compute(ui_small, counter=counter)
+        expected_pages = -(-ui_small.cardinality // 32)
+        assert counter.extras["page_reads"] == float(expected_pages)
+        assert counter.extras["page_writes"] == 0.0
+
+    def test_tight_memory_costs_more_io(self, ui_small):
+        loose = DominanceCounter()
+        tight = DominanceCounter()
+        ExternalBNL(page_size=16, memory_pages=1000).compute(ui_small, counter=loose)
+        ExternalBNL(page_size=16, memory_pages=2).compute(ui_small, counter=tight)
+        assert (
+            tight.extras["page_reads"] + tight.extras["page_writes"]
+            > loose.extras["page_reads"] + loose.extras["page_writes"]
+        )
+
+    def test_duplicates(self, duplicate_heavy):
+        result = ExternalBNL(page_size=16, memory_pages=3).compute(duplicate_heavy)
+        assert list(result.indices) == brute_skyline_ids(duplicate_heavy.values)
+
+    def test_incomparable_overflow_chain(self):
+        """Mutually incomparable points exceeding the window stress passes."""
+        values = np.array([[float(i), float(40 - i)] for i in range(40)])
+        result = ExternalBNL(page_size=4, memory_pages=2).compute(Dataset(values))
+        assert list(result.indices) == list(range(40))
+
+    def test_matches_in_memory_bnl(self, ac_small):
+        from repro.algorithms.bnl import BNL
+
+        external = ExternalBNL(page_size=16, memory_pages=5).compute(ac_small)
+        internal = BNL(window_size=64).compute(ac_small)
+        assert np.array_equal(external.indices, internal.indices)

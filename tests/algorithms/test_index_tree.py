@@ -1,0 +1,45 @@
+"""Unit tests for the B+-tree Index skyline algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.index_tree import IndexSkyline
+from repro.algorithms.sfs import SFS
+from repro.dataset import Dataset
+from repro.errors import InvalidParameterError
+from repro.stats.counters import DominanceCounter
+from tests.conftest import brute_skyline_ids
+
+
+class TestIndexSkyline:
+    def test_tree_order_validation(self):
+        with pytest.raises(InvalidParameterError):
+            IndexSkyline(tree_order=2)
+
+    @pytest.mark.parametrize("order", [3, 8, 64])
+    def test_correct_for_any_tree_order(self, order, ui_small):
+        result = IndexSkyline(tree_order=order).compute(ui_small)
+        assert list(result.indices) == brute_skyline_ids(ui_small.values)
+
+    def test_early_termination_on_correlated_data(self):
+        rng = np.random.default_rng(0)
+        base = rng.random(2000)
+        values = np.clip(base[:, None] + rng.normal(0, 0.01, (2000, 4)), 0, 1)
+        counter = DominanceCounter()
+        result = IndexSkyline().compute(Dataset(values), counter=counter)
+        assert list(result.indices) == brute_skyline_ids(values)
+        sfs_counter = DominanceCounter()
+        SFS().compute(Dataset(values), counter=sfs_counter)
+        assert counter.tests < sfs_counter.tests
+
+    def test_equal_min_value_batches(self):
+        """Points sharing a minC must be tested against each other."""
+        values = np.array(
+            [[0.1, 0.9, 0.5], [0.1, 0.4, 0.5], [0.1, 0.4, 0.4], [0.9, 0.9, 0.9]]
+        )
+        result = IndexSkyline().compute(Dataset(values))
+        assert list(result.indices) == brute_skyline_ids(values)
+
+    def test_negative_data(self, with_negatives):
+        result = IndexSkyline().compute(with_negatives)
+        assert list(result.indices) == brute_skyline_ids(with_negatives.values)

@@ -1,0 +1,48 @@
+"""Unit tests for LESS's elimination-filter phase."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.less import LESS
+from repro.dataset import Dataset
+from repro.errors import InvalidParameterError
+from tests.conftest import brute_skyline_ids
+
+
+class TestEliminationFilter:
+    def test_window_size_validation(self):
+        with pytest.raises(InvalidParameterError):
+            LESS(window_size=0)
+
+    @pytest.mark.parametrize("window", [1, 4, 64])
+    def test_correct_for_any_window(self, window, ui_small):
+        result = LESS(window_size=window).compute(ui_small)
+        assert list(result.indices) == brute_skyline_ids(ui_small.values)
+
+    def test_ef_drops_points_before_sort(self):
+        # One crushing point first: the EF pass should eliminate the rest
+        # with ~1 test each, never reaching an O(N^2) phase-2 scan.
+        n = 500
+        values = np.vstack([np.zeros((1, 3)), np.full((n - 1, 3), 5.0)])
+        from repro.stats.counters import DominanceCounter
+
+        counter = DominanceCounter()
+        result = LESS().compute(Dataset(values), counter=counter)
+        assert list(result.indices) == [0]
+        assert counter.tests <= 2 * n
+
+    def test_evicted_window_members_remain_candidates(self):
+        # Low-entropy points keep arriving, rotating the EF window; evicted
+        # members must still appear in the final skyline.
+        values = np.array(
+            [
+                [0.9, 0.1],
+                [0.8, 0.2],
+                [0.7, 0.3],
+                [0.6, 0.4],
+                [0.5, 0.5],
+                [0.1, 0.9],
+            ]
+        )
+        result = LESS(window_size=1).compute(Dataset(values))
+        assert list(result.indices) == list(range(6))

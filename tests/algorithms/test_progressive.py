@@ -1,0 +1,56 @@
+"""Unit tests for the progressive (online) skyline API."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.salsa import SaLSa
+from repro.algorithms.sfs import SFS
+from repro.algorithms.zorder_scan import ZOrderScan
+from repro.stats.counters import DominanceCounter
+from tests.conftest import brute_skyline_ids
+
+
+@pytest.mark.parametrize("algo_cls", [SFS, SaLSa, ZOrderScan])
+class TestProgressive:
+    def test_full_consumption_equals_skyline(self, algo_cls, ui_small):
+        got = sorted(algo_cls().progressive(ui_small))
+        assert got == brute_skyline_ids(ui_small.values)
+
+    def test_yields_in_scan_order(self, algo_cls, ui_small):
+        algo = algo_cls()
+        order = algo.sort_ids(
+            ui_small.values, np.arange(ui_small.cardinality, dtype=np.intp)
+        )
+        position = {int(pid): pos for pos, pid in enumerate(order)}
+        yielded = list(algo.progressive(ui_small))
+        positions = [position[pid] for pid in yielded]
+        assert positions == sorted(positions)
+
+    def test_first_yield_is_the_scan_minimum(self, algo_cls, ui_small):
+        algo = algo_cls()
+        order = algo.sort_ids(
+            ui_small.values, np.arange(ui_small.cardinality, dtype=np.intp)
+        )
+        first = next(iter(algo.progressive(ui_small)))
+        assert first == int(order[0])
+
+
+def test_early_termination_pays_fewer_tests(ui_medium):
+    counter = DominanceCounter()
+    generator = SFS().progressive(ui_medium, counter=counter)
+    for _, _ in zip(range(5), generator):
+        pass
+    partial = counter.tests
+    full_counter = DominanceCounter()
+    list(SFS().progressive(ui_medium, counter=full_counter))
+    assert partial < full_counter.tests
+
+
+def test_prefix_is_prefix_of_full_run(ui_small):
+    full = list(SFS().progressive(ui_small))
+    prefix = []
+    for pid in SFS().progressive(ui_small):
+        prefix.append(pid)
+        if len(prefix) == 7:
+            break
+    assert full[:7] == prefix

@@ -1,0 +1,55 @@
+"""Unit tests for SaLSa's stop-point mechanics."""
+
+import numpy as np
+
+from repro.algorithms.salsa import SaLSa
+from repro.algorithms.sfs import SFS
+from repro.dataset import Dataset
+from repro.stats.counters import DominanceCounter
+from tests.conftest import brute_skyline_ids
+
+
+class TestStopPoint:
+    def test_stops_before_testing_everything_on_co(self, co_small):
+        counter = DominanceCounter()
+        SaLSa().compute(co_small, counter=counter)
+        sfs_counter = DominanceCounter()
+        SFS().compute(co_small, counter=sfs_counter)
+        # The stop point lets SaLSa skip most of the scan on correlated data.
+        assert counter.tests < sfs_counter.tests
+
+    def test_sub_one_mean_dt_on_strongly_correlated_data(self):
+        rng = np.random.default_rng(0)
+        base = rng.random(2000)
+        values = np.clip(base[:, None] + rng.normal(0, 0.01, (2000, 4)), 0, 1)
+        counter = DominanceCounter()
+        result = SaLSa().compute(Dataset(values), counter=counter)
+        assert list(result.indices) == brute_skyline_ids(values)
+        assert counter.tests / 2000 < 1.0  # the paper's hallmark of SaLSa
+
+    def test_stop_rule_is_strict_so_duplicates_survive(self):
+        # Three copies of the best point plus dominated tail; a non-strict
+        # stop rule would drop the duplicates.
+        values = np.array(
+            [[0.5, 0.5], [0.5, 0.5], [0.5, 0.5], [0.9, 0.9], [0.8, 0.95]]
+        )
+        result = SaLSa().compute(Dataset(values))
+        assert list(result.indices) == [0, 1, 2]
+
+    def test_minc_order_is_weakly_monotone(self, ui_small):
+        from repro.algorithms.sortkeys import sort_keys
+
+        salsa = SaLSa()
+        ids = np.arange(ui_small.cardinality, dtype=np.intp)
+        order = salsa.sort_ids(ui_small.values, ids)
+        keys = sort_keys(ui_small.values, "minc")
+        ordered = keys[order]
+        assert (np.diff(ordered) >= -1e-12).all()
+
+    def test_stop_metric_consistent_with_scan_order_on_shifted_data(self):
+        # Columns with very different offsets: raw minC and shifted minC
+        # order points differently, which once made the stop rule unsound.
+        rng = np.random.default_rng(8)
+        values = rng.random((400, 3)) + np.array([0.0, 10.0, 100.0])
+        result = SaLSa().compute(Dataset(values))
+        assert list(result.indices) == brute_skyline_ids(values)

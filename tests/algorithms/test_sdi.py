@@ -1,0 +1,76 @@
+"""Unit tests for SDI's dimension traversal and stop point."""
+
+import numpy as np
+
+from repro.algorithms.sdi import SDI
+from repro.algorithms.sfs import SFS
+from repro.dataset import Dataset
+from repro.stats.counters import DominanceCounter
+from tests.conftest import brute_skyline_ids
+
+
+class TestSDI:
+    def test_fewer_tests_than_sfs_on_ui(self, ui_medium):
+        """Distributing tests across dimension skylines is SDI's point."""
+        sdi_counter = DominanceCounter()
+        sfs_counter = DominanceCounter()
+        SDI().compute(ui_medium, counter=sdi_counter)
+        SFS().compute(ui_medium, counter=sfs_counter)
+        assert sdi_counter.tests < sfs_counter.tests
+
+    def test_stop_point_terminates_early_on_correlated_data(self):
+        rng = np.random.default_rng(0)
+        base = rng.random(2000)
+        values = np.clip(base[:, None] + rng.normal(0, 0.01, (2000, 5)), 0, 1)
+        counter = DominanceCounter()
+        result = SDI().compute(Dataset(values), counter=counter)
+        assert list(result.indices) == brute_skyline_ids(values)
+        assert counter.tests / 2000 < 1.0
+
+    def test_duplicate_dimension_values(self):
+        """Ties in a dimension order must not confirm points prematurely."""
+        values = np.array(
+            [
+                [1.0, 3.0],
+                [1.0, 2.0],  # dominates row 0 with a tied first coordinate
+                [1.0, 2.0],  # duplicate of row 1: also skyline
+                [2.0, 1.0],
+            ]
+        )
+        result = SDI().compute(Dataset(values))
+        assert list(result.indices) == [1, 2, 3]
+
+    def test_column_of_equal_values(self):
+        values = np.array([[1.0, 5.0], [1.0, 4.0], [1.0, 6.0]])
+        result = SDI().compute(Dataset(values))
+        assert list(result.indices) == [1]
+
+    def test_weather_like_duplicates(self, duplicate_heavy):
+        result = SDI().compute(duplicate_heavy)
+        assert list(result.indices) == brute_skyline_ids(duplicate_heavy.values)
+
+    def test_run_phase_on_subset_of_ids(self, ui_small):
+        """The boostable hook must respect the restricted id set."""
+        from repro.core.container import ListContainer
+
+        ids = np.arange(0, ui_small.cardinality, 2, dtype=np.intp)
+        container = ListContainer(ui_small.values)
+        masks = np.zeros(ui_small.cardinality, dtype=np.int64)
+        got = SDI().run_phase(
+            ui_small, ids, masks, container, DominanceCounter()
+        )
+        expected_local = brute_skyline_ids(ui_small.values[ids])
+        expected = sorted(int(ids[k]) for k in expected_local)
+        assert sorted(got) == expected
+
+    def test_empty_id_set(self, ui_small):
+        from repro.core.container import ListContainer
+
+        got = SDI().run_phase(
+            ui_small,
+            np.empty(0, dtype=np.intp),
+            np.zeros(ui_small.cardinality, dtype=np.int64),
+            ListContainer(ui_small.values),
+            DominanceCounter(),
+        )
+        assert got == []

@@ -1,0 +1,78 @@
+"""Unit tests for SFS and its sort functions."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.sfs import SFS
+from repro.algorithms.sortkeys import SORT_FUNCTIONS, sort_keys
+from repro.dominance import dominates
+from repro.errors import InvalidParameterError
+from tests.conftest import brute_skyline_ids
+
+
+class TestSortKeys:
+    def test_unknown_function_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            sort_keys(np.ones((2, 2)), "bogus")
+
+    @pytest.mark.parametrize("function", ["entropy", "sum", "euclidean"])
+    def test_strictly_monotone_under_dominance(self, function):
+        rng = np.random.default_rng(0)
+        values = rng.random((200, 4))
+        keys = sort_keys(values, function)
+        for _ in range(300):
+            i, j = rng.integers(0, 200, size=2)
+            if dominates(values[i], values[j]):
+                assert keys[i] < keys[j]
+
+    def test_minc_weakly_monotone(self):
+        rng = np.random.default_rng(1)
+        values = rng.random((200, 4))
+        keys = sort_keys(values, "minc")
+        for _ in range(300):
+            i, j = rng.integers(0, 200, size=2)
+            if dominates(values[i], values[j]):
+                assert keys[i] <= keys[j]
+
+    def test_entropy_well_defined_for_negative_data(self):
+        values = np.array([[-5.0, -2.0], [-1.0, -4.0]])
+        keys = sort_keys(values, "entropy")
+        assert np.isfinite(keys).all()
+
+
+class TestSFS:
+    def test_eager_sort_function_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SFS(sort_function="bogus")
+
+    @pytest.mark.parametrize("function", SORT_FUNCTIONS)
+    def test_correct_with_every_sort_function(self, function, ui_small):
+        result = SFS(sort_function=function).compute(ui_small)
+        assert list(result.indices) == brute_skyline_ids(ui_small.values)
+
+    def test_dominators_scanned_before_dominated(self, ui_small):
+        sfs = SFS()
+        ids = np.arange(ui_small.cardinality, dtype=np.intp)
+        order = sfs.sort_ids(ui_small.values, ids)
+        position = {int(pid): pos for pos, pid in enumerate(order)}
+        rng = np.random.default_rng(3)
+        values = ui_small.values
+        for _ in range(300):
+            i, j = rng.integers(0, len(values), size=2)
+            if dominates(values[i], values[j]):
+                assert position[i] < position[j]
+
+    def test_sort_ids_respects_subset(self, ui_small):
+        sfs = SFS()
+        subset = np.array([5, 1, 9], dtype=np.intp)
+        order = sfs.sort_ids(ui_small.values, subset)
+        assert sorted(order) == sorted(subset)
+
+    def test_scan_counts_grow_with_skyline(self, ui_medium):
+        from repro.stats.counters import DominanceCounter
+
+        counter = DominanceCounter()
+        result = SFS().compute(ui_medium, counter=counter)
+        # Every non-first point is tested at least once in an SFS scan
+        # (against a non-empty skyline), so tests >= N - skyline-free prefix.
+        assert counter.tests >= ui_medium.cardinality - result.size

@@ -1,0 +1,43 @@
+"""Unit tests for the in-place SSkyline baseline."""
+
+import numpy as np
+
+from repro.algorithms.sskyline import SSkyline
+from repro.dataset import Dataset
+from repro.stats.counters import DominanceCounter
+from tests.conftest import brute_skyline_ids
+
+
+class TestSSkyline:
+    def test_head_replacement_chain(self):
+        # Each point dominates the previous head: repeated head swaps.
+        values = np.array([[5.0, 5.0], [4.0, 4.0], [3.0, 3.0], [1.0, 1.0]])
+        result = SSkyline().compute(Dataset(values))
+        assert list(result.indices) == [3]
+
+    def test_retired_points_cannot_resurface(self):
+        # Point 2 is dominated only by point 1, which itself replaces the
+        # initial head — the retirement bookkeeping must not lose that.
+        values = np.array([[3.0, 3.0], [1.0, 1.0], [2.0, 2.0], [0.5, 9.0]])
+        result = SSkyline().compute(Dataset(values))
+        assert list(result.indices) == brute_skyline_ids(values)
+
+    def test_incomparable_points_all_confirmed(self):
+        values = np.array([[float(i), float(10 - i)] for i in range(10)])
+        result = SSkyline().compute(Dataset(values))
+        assert list(result.indices) == list(range(10))
+
+    def test_duplicates(self, duplicate_heavy):
+        result = SSkyline().compute(duplicate_heavy)
+        assert list(result.indices) == brute_skyline_ids(duplicate_heavy.values)
+
+    def test_counts_pair_inspections(self, ui_small):
+        counter = DominanceCounter()
+        result = SSkyline().compute(ui_small, counter=counter)
+        # Lower bound: every confirmed head scanned the surviving region.
+        assert counter.tests >= result.size - 1
+
+    def test_random_regimes(self, ui_small, ac_small, co_small, with_negatives):
+        for ds in (ui_small, ac_small, co_small, with_negatives):
+            result = SSkyline().compute(ds)
+            assert list(result.indices) == brute_skyline_ids(ds.values)

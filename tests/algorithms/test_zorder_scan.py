@@ -1,0 +1,38 @@
+"""Unit tests for the Z-order scan algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.zorder_scan import ZOrderScan
+from repro.dominance import dominates
+from repro.errors import InvalidParameterError
+from tests.conftest import brute_skyline_ids
+
+
+class TestZOrderScan:
+    def test_bits_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ZOrderScan(bits=0)
+        with pytest.raises(InvalidParameterError):
+            ZOrderScan(bits=25)
+
+    @pytest.mark.parametrize("bits", [2, 8, 16])
+    def test_correct_at_any_resolution(self, bits, ui_small):
+        result = ZOrderScan(bits=bits).compute(ui_small)
+        assert list(result.indices) == brute_skyline_ids(ui_small.values)
+
+    def test_coarse_grid_with_heavy_collisions(self, duplicate_heavy):
+        result = ZOrderScan(bits=2).compute(duplicate_heavy)
+        assert list(result.indices) == brute_skyline_ids(duplicate_heavy.values)
+
+    def test_scan_order_is_monotone(self, ui_small):
+        scan = ZOrderScan()
+        ids = np.arange(ui_small.cardinality, dtype=np.intp)
+        order = scan.sort_ids(ui_small.values, ids)
+        position = {int(pid): pos for pos, pid in enumerate(order)}
+        rng = np.random.default_rng(5)
+        values = ui_small.values
+        for _ in range(300):
+            i, j = rng.integers(0, len(values), size=2)
+            if dominates(values[i], values[j]):
+                assert position[i] < position[j]

@@ -1,0 +1,43 @@
+"""Unit tests for the blocked ZSearch with region pruning."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.zorder_scan import ZOrderScan
+from repro.algorithms.zsearch import ZSearch
+from repro.dataset import Dataset
+from repro.errors import InvalidParameterError
+from repro.stats.counters import DominanceCounter
+from tests.conftest import brute_skyline_ids
+
+
+class TestZSearch:
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ZSearch(block_size=0)
+        with pytest.raises(InvalidParameterError):
+            ZSearch(bits=0)
+
+    @pytest.mark.parametrize("block_size", [1, 8, 64, 1000])
+    def test_correct_for_any_block_size(self, block_size, ui_small):
+        result = ZSearch(block_size=block_size).compute(ui_small)
+        assert list(result.indices) == brute_skyline_ids(ui_small.values)
+
+    def test_duplicates(self, duplicate_heavy):
+        result = ZSearch(block_size=16).compute(duplicate_heavy)
+        assert list(result.indices) == brute_skyline_ids(duplicate_heavy.values)
+
+    def test_region_pruning_saves_tests_on_correlated_data(self):
+        rng = np.random.default_rng(0)
+        base = rng.random(3000)
+        values = np.clip(base[:, None] + rng.normal(0, 0.02, (3000, 4)), 0, 1)
+        blocked = DominanceCounter()
+        plain = DominanceCounter()
+        blocked_result = ZSearch(block_size=64).compute(Dataset(values), counter=blocked)
+        plain_result = ZOrderScan().compute(Dataset(values), counter=plain)
+        assert list(blocked_result.indices) == list(plain_result.indices)
+        assert blocked.tests < plain.tests
+
+    def test_negative_values(self, with_negatives):
+        result = ZSearch().compute(with_negatives)
+        assert list(result.indices) == brute_skyline_ids(with_negatives.values)

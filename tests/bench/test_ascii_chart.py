@@ -1,0 +1,77 @@
+"""Unit tests for the ASCII figure rendering."""
+
+import pytest
+
+from repro.bench.ascii_chart import bar_chart, line_chart
+from repro.errors import InvalidParameterError
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        text = line_chart({"a": [1.0, 2.0]}, ["x", "y"], height=4)
+        lines = text.splitlines()
+        assert len(lines) == 4 + 3  # grid + axis + labels + legend
+        assert "o=a" in lines[-1]
+
+    def test_title_prepended(self):
+        text = line_chart({"a": [1.0]}, ["x"], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = line_chart({"a": [1.0, 5.0], "b": [5.0, 1.0]}, ["x", "y"])
+        assert "o=a" in text and "x=b" in text
+
+    def test_collision_marker(self):
+        text = line_chart({"a": [1.0, 2.0], "b": [1.0, 3.0]}, ["x", "y"], height=4)
+        assert "*" in text  # overlapping first points
+
+    def test_constant_series(self):
+        text = line_chart({"a": [2.0, 2.0, 2.0]}, ["1", "2", "3"])
+        assert "o" in text
+
+    def test_log_scale_handles_zero(self):
+        text = line_chart({"a": [0.0, 100.0]}, ["x", "y"], log_y=True)
+        assert "o" in text
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            line_chart({}, ["x"])
+        with pytest.raises(InvalidParameterError):
+            line_chart({"a": [1.0]}, ["x", "y"])
+        with pytest.raises(InvalidParameterError):
+            line_chart({"a": [1.0]}, ["x"], height=1)
+
+    def test_extreme_values_stay_on_grid(self):
+        text = line_chart({"a": [1e-9, 1e9]}, ["x", "y"], height=5)
+        grid = "\n".join(text.splitlines()[:-3])  # drop axis/labels/legend
+        assert grid.count("o") == 2
+
+
+class TestBarChart:
+    def test_counts_rendered(self):
+        text = bar_chart({"AC": [10, 5, 0]})
+        lines = text.splitlines()
+        assert lines[0] == "AC"
+        assert lines[1].endswith("10")
+        assert lines[3].endswith("0")
+
+    def test_bar_lengths_proportional(self):
+        text = bar_chart({"A": [10, 5]}, width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 5
+
+    def test_log_scale_compresses(self):
+        linear = bar_chart({"A": [1, 1000]}, width=30)
+        logged = bar_chart({"A": [1, 1000]}, width=30, log_x=True)
+        assert linear.splitlines()[1].count("#") < logged.splitlines()[1].count("#")
+
+    def test_zero_only_series(self):
+        text = bar_chart({"A": [0, 0]})
+        assert "#" not in text
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            bar_chart({})
+        with pytest.raises(InvalidParameterError):
+            bar_chart({"A": [1]}, width=0)

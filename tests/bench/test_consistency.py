@@ -1,0 +1,31 @@
+"""Cross-registry consistency: harness names must resolve everywhere."""
+
+from repro.algorithms.registry import available_algorithms, get_algorithm
+from repro.bench.runner import BOOSTED_PAIRS, DEFAULT_ALGORITHMS
+from repro.bench import paper_reference as paper
+
+
+class TestNameConsistency:
+    def test_default_lineup_resolves(self):
+        for name in DEFAULT_ALGORITHMS:
+            assert get_algorithm(name).name == name
+
+    def test_boosted_pairs_are_in_the_lineup(self):
+        for base, boosted in BOOSTED_PAIRS:
+            assert base in DEFAULT_ALGORITHMS
+            assert boosted in DEFAULT_ALGORITHMS
+            assert boosted == f"{base}-subset"
+
+    def test_lineup_matches_paper_reference_rows(self):
+        for table in paper.TABLES.values():
+            assert set(table) == set(DEFAULT_ALGORITHMS)
+
+    def test_lineup_is_subset_of_registry(self):
+        registry = set(available_algorithms())
+        assert set(DEFAULT_ALGORITHMS) <= registry
+
+    def test_every_boostable_host_has_a_boosted_name(self):
+        registry = set(available_algorithms())
+        for name in registry:
+            if name.endswith("-subset"):
+                assert name.removesuffix("-subset") in registry

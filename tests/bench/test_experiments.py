@@ -1,0 +1,73 @@
+"""Smoke tests: every experiment runs end-to-end at tiny scale.
+
+These are the integration tests of the reproduction harness itself: each
+table/figure entry point must produce a non-empty paper-style report at
+scale 0.002 (200-400 points), with the structural properties the paper's
+artefact has (correct row/column sets, gain rows, histogram buckets).
+"""
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.runner import DEFAULT_ALGORITHMS
+from repro.bench.sweep import SweepConfig
+from repro.errors import InvalidParameterError
+
+TINY = SweepConfig(scale=0.002)
+
+
+@pytest.fixture(scope="module")
+def tiny_cfg():
+    return TINY
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_experiment_runs(name, tiny_cfg):
+    report = run_experiment(name, tiny_cfg)
+    assert report.experiment == name
+    assert report.text.strip()
+    assert report.data
+
+
+def test_alias_resolution(tiny_cfg):
+    report = run_experiment("table10", tiny_cfg)
+    assert report.experiment == "table10_11"
+
+
+def test_unknown_experiment():
+    with pytest.raises(InvalidParameterError):
+        run_experiment("table99")
+
+
+@pytest.mark.slow
+def test_dim_sweep_structure(tiny_cfg):
+    report = run_experiment("table10_11", tiny_cfg)
+    dt = report.data["dt"]
+    assert set(dt) == set(DEFAULT_ALGORITHMS)
+    assert report.data["columns"] == [f"{d}-D" for d in tiny_cfg.dims]
+    assert "Performance Gain" in report.text
+
+def test_fig2_histogram_structure(tiny_cfg):
+    report = run_experiment("fig2", tiny_cfg)
+    series = report.data["series"]
+    assert set(series) == {"AC", "CO", "UI"}
+    assert all(len(v) == 8 for v in series.values())
+    # No pruned point carries more than d-1 subspace dimensions w.r.t. a
+    # single skyline pivot (a full mask would mean the pivot is dominated).
+    assert all(v[7] == 0 for v in series.values())
+
+
+@pytest.mark.slow
+def test_table1_orders_kinds(tiny_cfg):
+    report = run_experiment("table1", tiny_cfg)
+    dims = report.data["dims"]
+    assert dims["AC datasets"]["8-D"] > dims["CO datasets"]["8-D"]
+    assert dims["UI datasets"]["8-D"] > dims["CO datasets"]["8-D"]
+
+
+@pytest.mark.slow
+def test_real_dataset_tables_record_sigma(tiny_cfg):
+    assert run_experiment("table15", tiny_cfg).data["sigma"] == 4
+    assert run_experiment("table16", tiny_cfg).data["sigma"] == 2
+    assert run_experiment("table17", tiny_cfg).data["sigma"] == 3

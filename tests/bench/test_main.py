@@ -1,0 +1,51 @@
+"""Unit tests for the ``python -m repro.bench`` command line."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestBenchCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table10_11" in out
+        assert "ablation_sigma" in out
+
+    def test_single_experiment(self, capsys):
+        assert main(["fig2", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "completed in" in out
+
+    def test_alias(self, capsys):
+        assert main(["table16", "--scale", "0.002"]) == 0
+        assert "NBA" in capsys.readouterr().out
+
+    def test_out_file_appended(self, tmp_path, capsys):
+        target = tmp_path / "results.txt"
+        assert main(["fig2", "--scale", "0.002", "--out", str(target)]) == 0
+        assert main(["fig6", "--scale", "0.002", "--out", str(target)]) == 0
+        content = target.read_text()
+        assert "Figure 2" in content and "Figure 6" in content
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(Exception):
+            main(["table99"])
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "raw.json"
+        assert main(["fig2", "--scale", "0.002", "--json", str(target)]) == 0
+        capsys.readouterr()
+        payload = json.loads(target.read_text())
+        assert "fig2" in payload
+        assert payload["fig2"]["data"]["series"]["AC"]
+
+    def test_seed_changes_workload(self, capsys):
+        assert main(["fig2", "--scale", "0.002", "--seed", "1"]) == 0
+        first = capsys.readouterr().out
+        assert main(["fig2", "--scale", "0.002", "--seed", "2"]) == 0
+        second = capsys.readouterr().out
+        assert first != second

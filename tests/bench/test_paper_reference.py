@@ -1,0 +1,76 @@
+"""Sanity tests over the transcribed paper numbers."""
+
+import pytest
+
+from repro.bench import paper_reference as paper
+from repro.bench.runner import DEFAULT_ALGORITHMS
+
+
+class TestTranscription:
+    def test_all_tables_present(self):
+        assert set(paper.TABLES) == set(range(2, 18))
+
+    @pytest.mark.parametrize("table", sorted(paper.TABLES))
+    def test_every_table_has_the_full_lineup(self, table):
+        assert set(paper.TABLES[table]) == set(DEFAULT_ALGORITHMS)
+
+    @pytest.mark.parametrize("table", [2, 3, 6, 7, 10, 11])
+    def test_dim_sweeps_have_nine_columns(self, table):
+        for row in paper.TABLES[table].values():
+            assert len(row) == 9
+            assert "2-D" in row and "24-D" in row
+
+    @pytest.mark.parametrize("table", [4, 5, 8, 9, 12, 13])
+    def test_card_sweeps_have_ten_columns(self, table):
+        for row in paper.TABLES[table].values():
+            assert len(row) == 10
+            assert "100K" in row and "1M" in row
+
+    def test_values_non_negative(self):
+        for table in paper.TABLES.values():
+            for row in table.values():
+                assert all(v >= 0 for v in row.values())
+
+    def test_table1_sizes(self):
+        assert paper.TABLE1_DIMS["AC"]["8-D"] == 95898
+        assert paper.TABLE1_CARDS["CO"]["1M"] == 208
+
+
+class TestPaperGain:
+    def test_matches_published_gain_cells(self):
+        # Table 2, SFS at 8-D: the paper prints "x 4.84".
+        assert paper.paper_gain(2, "sfs", "8-D") == pytest.approx(4.84, abs=0.01)
+        # Table 10, SDI at 8-D: the paper prints "x 7.30".
+        assert paper.paper_gain(10, "sdi", "8-D") == pytest.approx(7.30, abs=0.01)
+
+    def test_no_gain_cells_are_none(self):
+        # Table 2, SFS at 2-D: identical values, printed "-".
+        assert paper.paper_gain(2, "sfs", "2-D") is None
+        # Table 8, SaLSa everywhere: boosted DT is higher, printed "-".
+        assert paper.paper_gain(8, "salsa", "100K") is None
+
+    def test_headline_crossover_is_in_the_numbers(self):
+        """Table 11: SDI-Subset beats BSkyTree-P on UI from 8-D onward."""
+        for column in ("8-D", "10-D", "12-D"):
+            assert (
+                paper.TABLE11["sdi-subset"][column]
+                < paper.TABLE11["bskytree-p"][column]
+            )
+
+    def test_bskytree_p_wins_ac_runtime_at_moderate_d(self):
+        """Table 3: BSkyTree-P wins AC at moderate dimensionality ..."""
+        for column in ("4-D", "8-D", "12-D"):
+            fastest = min(row[column] for row in paper.TABLE3.values())
+            assert paper.TABLE3["bskytree-p"][column] == fastest
+
+    def test_sdi_subset_overtakes_bskytree_p_on_high_d_ac(self):
+        """... while SDI-Subset overtakes it in high dimensionality.
+
+        (Section 6.2 says "16-D and 24-D"; in the published Table 3 the
+        crossover cells are actually 20-D and 24-D.)
+        """
+        for column in ("20-D", "24-D"):
+            assert (
+                paper.TABLE3["sdi-subset"][column]
+                < paper.TABLE3["bskytree-p"][column]
+            )

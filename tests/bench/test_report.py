@@ -1,0 +1,32 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+import pytest
+
+from repro.bench.report import generate_experiments_md
+from repro.bench.sweep import SweepConfig
+
+
+@pytest.mark.slow
+def test_report_generation_end_to_end():
+    """The full report renders at micro scale with all sections present."""
+    progress: list[str] = []
+    document = generate_experiments_md(
+        SweepConfig(scale=0.002), progress=progress.append
+    )
+    assert document.startswith("# EXPERIMENTS")
+    assert "Headline shape checks" in document
+    for section in (
+        "Figure 2",
+        "Figures 4/5",
+        "Table 1",
+        "Table 2/Table 3",
+        "Table 10/Table 11",
+        "Table 14",
+        "Table 15: HOUSE",
+        "Ablations",
+    ):
+        assert section in document, f"missing section {section!r}"
+    assert "paper gain" in document
+    assert "measured gain" in document
+    # Every experiment ran exactly once.
+    assert len(progress) == len(set(progress)) == 18

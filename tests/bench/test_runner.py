@@ -1,0 +1,52 @@
+"""Unit tests for the measurement runner."""
+
+import pytest
+
+from repro.bench.runner import DEFAULT_ALGORITHMS, run_algorithms, run_one
+from repro.data import generate
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate("UI", n=200, d=4, seed=0)
+
+
+class TestRunOne:
+    def test_metric_row_contents(self, dataset):
+        row = run_one(dataset, "sfs")
+        assert row.algorithm == "sfs"
+        assert row.cardinality == 200
+        assert row.dominance_tests > 0
+        assert row.skyline_size > 0
+        assert row.elapsed_seconds > 0
+
+    def test_repeats_validation(self, dataset):
+        with pytest.raises(ValueError):
+            run_one(dataset, "sfs", repeats=0)
+
+    def test_repeats_average_timing(self, dataset):
+        row = run_one(dataset, "sfs", repeats=3)
+        assert row.elapsed_seconds > 0
+
+    def test_sigma_forwarded_to_boosted(self, dataset):
+        row = run_one(dataset, "sfs-subset", sigma=2)
+        assert row.algorithm == "sfs-subset"
+
+    def test_kwargs_forwarded(self, dataset):
+        row = run_one(dataset, "bnl", window_size=16)
+        assert row.dominance_tests > 0
+
+
+class TestRunAlgorithms:
+    def test_default_lineup(self, dataset):
+        rows = run_algorithms(dataset)
+        assert [r.algorithm for r in rows] == list(DEFAULT_ALGORITHMS)
+
+    def test_all_rows_same_skyline_size(self, dataset):
+        rows = run_algorithms(dataset)
+        sizes = {r.skyline_size for r in rows}
+        assert len(sizes) == 1
+
+    def test_sigma_only_applied_to_boosted(self, dataset):
+        rows = run_algorithms(dataset, ["sfs", "sfs-subset"], sigma=2)
+        assert len(rows) == 2

@@ -1,0 +1,39 @@
+"""Unit tests for sweep configuration."""
+
+import pytest
+
+from repro.bench.sweep import PAPER_CARDS, PAPER_DIMS, SweepConfig
+from repro.errors import InvalidParameterError
+
+
+class TestSweepConfig:
+    def test_defaults(self):
+        cfg = SweepConfig()
+        assert cfg.dims == PAPER_DIMS
+        assert cfg.card(200_000) == 4000
+        assert len(cfg.cardinalities) == 10
+
+    def test_full_uses_paper_grid(self):
+        cfg = SweepConfig(full=True)
+        assert cfg.dims == PAPER_DIMS
+        assert cfg.card(200_000) == 200_000
+        assert cfg.cardinalities == PAPER_CARDS
+
+    def test_minimum_cardinality_floor(self):
+        cfg = SweepConfig(scale=0.0001)
+        assert cfg.card(200_000) == 200
+
+    def test_scale_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SweepConfig(scale=0)
+        with pytest.raises(InvalidParameterError):
+            SweepConfig(scale=1.5)
+
+    def test_repeats_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SweepConfig(repeats=0)
+
+    def test_frozen(self):
+        cfg = SweepConfig()
+        with pytest.raises(Exception):
+            cfg.scale = 0.5  # type: ignore[misc]

@@ -1,0 +1,57 @@
+"""Unit tests for paper-style table formatting."""
+
+from repro.bench.tables import format_histogram_table, format_paper_table
+
+
+class TestFormatPaperTable:
+    def test_layout_with_gain_rows(self):
+        data = {
+            "sfs": {"2-D": 10.0, "4-D": 100.0},
+            "sfs-subset": {"2-D": 10.0, "4-D": 20.0},
+        }
+        text = format_paper_table(
+            "Table X", "Dimensionality", ["2-D", "4-D"], data, ["sfs", "sfs-subset"]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table X"
+        assert lines[2].startswith("Dimensionality")
+        assert any(line.startswith("Performance Gain") for line in lines)
+        gain_line = next(l for l in lines if l.startswith("Performance Gain"))
+        assert "-" in gain_line  # no gain at 2-D
+        assert "x 5.00" in gain_line  # 100/20 at 4-D
+
+    def test_no_gain_rows_without_boosted_pairs(self):
+        data = {"bnl": {"a": 1.0}}
+        text = format_paper_table("T", "col", ["a"], data, ["bnl"])
+        assert "Performance Gain" not in text
+
+    def test_value_formatting(self):
+        data = {"sfs": {"c": 12345.678}, "sdi": {"c": 0.00123}}
+        text = format_paper_table("T", "col", ["c"], data, ["sfs", "sdi"])
+        assert "12345.7" in text
+        assert "0.00123" in text
+
+    def test_columns_aligned(self):
+        data = {
+            "sfs": {"a": 1.0, "b": 2.0},
+            "bskytree-p": {"a": 3.0, "b": 4.0},
+        }
+        text = format_paper_table("T", "col", ["a", "b"], data, ["sfs", "bskytree-p"])
+        rows = text.splitlines()[2:]
+        # The second column starts at the same offset in every row.
+        sfs_row = next(r for r in rows if r.startswith("sfs"))
+        bsky_row = next(r for r in rows if r.startswith("bskytree-p"))
+        assert sfs_row.index("1") == bsky_row.index("3")
+
+
+class TestFormatHistogramTable:
+    def test_buckets_rendered(self):
+        text = format_histogram_table("H", {"AC": [5, 3, 1], "UI": [2, 2, 2]})
+        lines = text.splitlines()
+        assert lines[2].split()[-3:] == ["1", "2", "3"]
+        assert "AC" in text and "UI" in text
+
+    def test_short_series_padded(self):
+        text = format_histogram_table("H", {"A": [1, 2, 3], "B": [9]})
+        b_line = next(l for l in text.splitlines() if l.startswith("B"))
+        assert b_line.split()[1:] == ["9", "0", "0"]

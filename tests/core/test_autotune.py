@@ -1,0 +1,64 @@
+"""Unit tests for the sample-based stability-threshold cost model."""
+
+import pytest
+
+from repro.algorithms.sdi import SDI
+from repro.algorithms.sfs import SFS
+from repro.core.autotune import tune_sigma
+from repro.data import generate
+from repro.errors import InvalidParameterError
+
+
+class TestTuneSigma:
+    def test_returns_valid_sigma(self):
+        dataset = generate("UI", n=600, d=6, seed=0)
+        choice = tune_sigma(dataset, SDI(), sample_size=300, seed=0)
+        assert 2 <= choice.sigma <= 6
+        assert set(choice.costs) == set(range(2, 7))
+
+    def test_sample_smaller_than_dataset(self):
+        dataset = generate("UI", n=600, d=4, seed=1)
+        choice = tune_sigma(dataset, SFS(), sample_size=100, seed=1)
+        assert choice.sample_size == 100
+
+    def test_small_dataset_used_whole(self):
+        dataset = generate("UI", n=50, d=4, seed=2)
+        choice = tune_sigma(dataset, SFS(), sample_size=500, seed=2)
+        assert choice.sample_size == 50
+
+    def test_candidate_restriction(self):
+        dataset = generate("UI", n=200, d=6, seed=3)
+        choice = tune_sigma(dataset, SFS(), sample_size=100, candidates=[2, 4])
+        assert set(choice.costs) == {2, 4}
+        assert choice.sigma in (2, 4)
+
+    def test_ranked_is_sorted_by_cost(self):
+        dataset = generate("UI", n=200, d=5, seed=4)
+        choice = tune_sigma(dataset, SFS(), sample_size=100)
+        costs = [cost for _, cost in choice.ranked()]
+        assert costs == sorted(costs)
+        assert choice.ranked()[0][0] == choice.sigma
+
+    def test_deterministic_given_seed(self):
+        dataset = generate("UI", n=400, d=5, seed=5)
+        a = tune_sigma(dataset, SFS(), sample_size=150, seed=9)
+        b = tune_sigma(dataset, SFS(), sample_size=150, seed=9)
+        assert a.sigma == b.sigma
+        assert a.costs == b.costs
+
+    def test_rejects_bad_parameters(self):
+        dataset = generate("UI", n=100, d=4, seed=6)
+        with pytest.raises(InvalidParameterError):
+            tune_sigma(dataset, SFS(), sample_size=1)
+        with pytest.raises(InvalidParameterError):
+            tune_sigma(dataset, SFS(), candidates=[1])
+        with pytest.raises(InvalidParameterError):
+            tune_sigma(dataset, SFS(), candidates=[5])
+
+    def test_rejects_d1(self):
+        import numpy as np
+
+        from repro.dataset import Dataset
+
+        with pytest.raises(InvalidParameterError):
+            tune_sigma(Dataset(np.ones((10, 1))), SFS())

@@ -1,0 +1,88 @@
+"""Unit tests for the stability measure and threshold validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.stability import (
+    StabilityTracker,
+    default_threshold,
+    subspace_size_histogram,
+    validate_threshold,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestHistogram:
+    def test_counts_by_size(self):
+        hist = subspace_size_histogram(np.array([1, 1, 2, 4]), d=4)
+        assert list(hist) == [0, 2, 1, 0, 1]
+
+    def test_zero_bucket(self):
+        hist = subspace_size_histogram(np.array([0, 0]), d=3)
+        assert hist[0] == 2
+
+    def test_empty_sizes(self):
+        hist = subspace_size_histogram(np.array([], dtype=int), d=2)
+        assert list(hist) == [0, 0, 0]
+
+    def test_rejects_bad_dimensionality(self):
+        with pytest.raises(InvalidParameterError):
+            subspace_size_histogram(np.array([1]), d=0)
+
+
+class TestStabilityTracker:
+    def test_first_update_is_zero(self):
+        tracker = StabilityTracker(d=4)
+        assert tracker.update(np.array([1, 2, 3])) == 0
+
+    def test_identical_histograms_are_fully_stable(self):
+        tracker = StabilityTracker(d=4)
+        tracker.update(np.array([1, 2, 2]))
+        assert tracker.update(np.array([2, 2, 1])) == 4
+
+    def test_partial_stability(self):
+        tracker = StabilityTracker(d=3)
+        tracker.update(np.array([1, 1, 2]))  # hist(1..3) = [2, 1, 0]
+        # now sizes [1, 2, 2]: hist = [1, 2, 0]; only bucket 3 unchanged
+        assert tracker.update(np.array([1, 2, 2])) == 1
+
+    def test_zero_bucket_excluded(self):
+        tracker = StabilityTracker(d=2)
+        tracker.update(np.array([0, 1]))
+        # bucket 0 changes (2 zeros now) but is not counted either way
+        assert tracker.update(np.array([0, 0, 1])) == 2
+
+    def test_histogram_property(self):
+        tracker = StabilityTracker(d=2)
+        assert tracker.histogram is None
+        tracker.update(np.array([1]))
+        assert list(tracker.histogram) == [0, 1, 0]
+
+    def test_rejects_bad_dimensionality(self):
+        with pytest.raises(InvalidParameterError):
+            StabilityTracker(0)
+
+
+class TestThresholds:
+    def test_validate_accepts_paper_range(self):
+        for sigma in range(2, 9):
+            assert validate_threshold(sigma, d=8) == sigma
+
+    def test_validate_rejects_one_and_above_d(self):
+        with pytest.raises(InvalidParameterError):
+            validate_threshold(1, d=8)
+        with pytest.raises(InvalidParameterError):
+            validate_threshold(9, d=8)
+        with pytest.raises(InvalidParameterError):
+            validate_threshold("3", d=8)  # type: ignore[arg-type]
+
+    def test_default_is_rounded_d_over_3(self):
+        assert default_threshold(8) == 3  # the paper's 8-D setting
+        assert default_threshold(12) == 4
+        assert default_threshold(24) == 8
+
+    def test_default_clamped_to_valid_range(self):
+        assert default_threshold(2) == 2
+        assert default_threshold(3) == 2
+        with pytest.raises(InvalidParameterError):
+            default_threshold(1)

@@ -1,0 +1,223 @@
+"""Unit and property tests for the subset-query skyline index (Algs. 2-4)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.subset_index import SkylineIndex
+from repro.errors import DimensionMismatchError, InvalidParameterError
+from repro.stats.counters import DominanceCounter
+from repro.structures import bitset
+
+
+def brute_query(stored: dict[int, int], subspace: int) -> set[int]:
+    """Reference: ids whose stored subspace is a superset of ``subspace``."""
+    return {pid for pid, mask in stored.items() if subspace & ~mask == 0}
+
+
+class TestPutQuery:
+    def test_paper_example(self):
+        """The Figure 3 subspace family, with the paper's query {1,3,5}.
+
+        The figure stores *reversed* subspaces; here we store points whose
+        reversed subspaces are the figure's sets in an 8-dimensional space
+        (paper dims 1-8 -> 0-based 0-7).
+        """
+        d = 8
+        figure_reversed = [
+            {1, 2},
+            {1, 3, 5, 7},
+            {1, 5},
+            {1, 7},
+            {3, 5},
+            {3, 7},
+            {5, 7},
+        ]
+        idx = SkylineIndex(d)
+        stored = {}
+        for pid, reversed_dims in enumerate(figure_reversed):
+            mask = bitset.complement(bitset.from_dims(reversed_dims), d)
+            idx.put(pid, mask)
+            stored[pid] = mask
+        query_reversed = {1, 3, 5}
+        query_mask = bitset.complement(bitset.from_dims(query_reversed), d)
+        got = set(idx.query(query_mask))
+        # Stored reversed sets that are subsets of {1,3,5}: {1,5} and {3,5}.
+        assert got == {2, 4}
+        assert got == brute_query(stored, query_mask)
+
+    def test_root_storage_for_full_subspace(self):
+        idx = SkylineIndex(3)
+        idx.put(7, 0b111)  # reversed = empty -> root
+        assert idx.query(0b001) == [7]
+        assert idx.query(0b111) == [7]
+
+    def test_query_excludes_non_supersets(self):
+        idx = SkylineIndex(4)
+        idx.put(1, 0b0011)
+        assert idx.query(0b0100) == []
+
+    def test_multiple_points_same_subspace(self):
+        idx = SkylineIndex(4)
+        idx.put(1, 0b0011)
+        idx.put(2, 0b0011)
+        assert sorted(idx.query(0b0011)) == [1, 2]
+        assert len(idx) == 2
+
+    def test_len_tracks_puts(self):
+        idx = SkylineIndex(5)
+        for pid in range(10):
+            idx.put(pid, 0b00001 << (pid % 4))
+        assert len(idx) == 10
+
+    def test_counter_records_node_visits(self):
+        counter = DominanceCounter()
+        idx = SkylineIndex(4)
+        idx.put(0, 0b0001)
+        idx.query(0b0001, counter)
+        assert counter.index_queries == 1
+        assert counter.index_nodes_visited >= 1
+
+    def test_dimensionality_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SkylineIndex(0)
+
+    def test_mask_outside_space_rejected(self):
+        idx = SkylineIndex(3)
+        with pytest.raises(DimensionMismatchError):
+            idx.put(0, 0b1000)
+        with pytest.raises(DimensionMismatchError):
+            idx.query(0b1000)
+
+    def test_subspaces_diagnostic(self):
+        idx = SkylineIndex(3)
+        idx.put(0, 0b011)
+        idx.put(1, 0b011)
+        idx.put(2, 0b101)
+        mapping = idx.subspaces()
+        assert sorted(mapping[0b011]) == [0, 1]
+        assert mapping[0b101] == [2]
+
+    def test_clear(self):
+        idx = SkylineIndex(3)
+        idx.put(0, 0b001)
+        idx.clear()
+        assert len(idx) == 0
+        assert idx.query(0b001) == []
+
+    def test_node_count_counts_paths(self):
+        idx = SkylineIndex(4)
+        assert idx.node_count() == 1  # root only
+        idx.put(0, 0b0111)  # reversed {3}: one node
+        assert idx.node_count() == 2
+        idx.put(1, 0b0011)  # reversed {2, 3}: adds a chain of two
+        assert idx.node_count() == 4
+
+
+class TestOccupancy:
+    def test_empty_index(self):
+        stats = SkylineIndex(4).occupancy()
+        assert stats == {"nodes": 0.0, "occupied": 0.0, "max": 0.0, "mean": 0.0}
+
+    def test_clumped_points(self):
+        idx = SkylineIndex(4)
+        for pid in range(10):
+            idx.put(pid, 0b0011)
+        stats = idx.occupancy()
+        assert stats["occupied"] == 1.0
+        assert stats["max"] == 10.0
+        assert stats["mean"] == 10.0
+
+    def test_spread_points(self):
+        idx = SkylineIndex(4)
+        for pid, mask in enumerate((0b0001, 0b0010, 0b0100, 0b1000)):
+            idx.put(pid, mask)
+        stats = idx.occupancy()
+        assert stats["occupied"] == 4.0
+        assert stats["max"] == 1.0
+
+    def test_duplicate_heavy_data_clumps_the_index(self, duplicate_heavy):
+        """The §6.3 WEATHER effect: duplicates concentrate node occupancy."""
+        import repro
+        from repro.core.container import SubsetContainer
+        from repro.core.merge import merge as run_merge
+
+        merged = run_merge(duplicate_heavy, sigma=2)
+        container = SubsetContainer(duplicate_heavy.values, 4)
+        for point_id, mask in zip(merged.remaining_ids, merged.masks):
+            container.add(int(point_id), int(mask))
+        stats = container.index.occupancy()
+        assert stats["max"] > 1.0  # many points share one subspace node
+
+
+class TestRemove:
+    def test_remove_round_trip(self):
+        idx = SkylineIndex(4)
+        idx.put(5, 0b0011)
+        idx.remove(5, 0b0011)
+        assert len(idx) == 0
+        assert idx.query(0b0011) == []
+
+    def test_remove_missing_point(self):
+        idx = SkylineIndex(4)
+        idx.put(5, 0b0011)
+        with pytest.raises(KeyError):
+            idx.remove(6, 0b0011)
+
+    def test_remove_missing_path(self):
+        idx = SkylineIndex(4)
+        with pytest.raises(KeyError):
+            idx.remove(5, 0b0011)
+
+    def test_remove_keeps_siblings(self):
+        idx = SkylineIndex(4)
+        idx.put(1, 0b0011)
+        idx.put(2, 0b0011)
+        idx.remove(1, 0b0011)
+        assert idx.query(0b0011) == [2]
+
+
+class TestExhaustiveSmallSpace:
+    def test_all_subspace_pairs_d4(self):
+        """Exhaustive check of the superset semantics over all of 2^4."""
+        d = 4
+        idx = SkylineIndex(d)
+        stored = {}
+        for pid, mask in enumerate(range(1, 1 << d)):
+            idx.put(pid, mask)
+            stored[pid] = mask
+        for query in range(1, 1 << d):
+            assert set(idx.query(query)) == brute_query(stored, query)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(0, (1 << 6) - 1), max_size=40),
+    st.integers(0, (1 << 6) - 1),
+)
+def test_query_matches_brute_force(masks, query):
+    idx = SkylineIndex(6)
+    stored = {}
+    for pid, mask in enumerate(masks):
+        idx.put(pid, mask)
+        stored[pid] = mask
+    assert set(idx.query(query)) == brute_query(stored, query)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 127), st.booleans()), max_size=30))
+def test_interleaved_put_remove(ops):
+    """put/remove interleavings keep query results exact."""
+    idx = SkylineIndex(7)
+    live: dict[int, int] = {}
+    for pid, (mask, is_remove) in enumerate(ops):
+        if is_remove and live:
+            victim = next(iter(live))
+            idx.remove(victim, live.pop(victim))
+        else:
+            idx.put(pid, mask)
+            live[pid] = mask
+    for query in (0, 0b1, 0b1010101, 0b1111111):
+        assert set(idx.query(query)) == brute_query(live, query)

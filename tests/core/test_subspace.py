@@ -1,0 +1,78 @@
+"""The paper's lemmas (3.5, 3.6, 4.2, 4.3) as executable properties."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.subspace import (
+    implies_incomparable,
+    maximum_dominating_subspace,
+    may_dominate,
+)
+from repro.dominance import dominates, dominating_subspace
+from repro.stats.counters import DominanceCounter
+
+unit_points = hnp.arrays(
+    np.float64, (5,), elements=st.floats(0, 1, allow_nan=False, width=16)
+)
+
+
+class TestMaximumDominatingSubspace:
+    def test_union_over_pivots(self):
+        q = np.array([0.1, 0.9, 0.5])
+        p1 = np.array([0.5, 0.5, 0.5])  # q beats p1 in dim 0
+        p2 = np.array([0.1, 0.9, 0.9])  # q beats p2 in dim 2
+        assert maximum_dominating_subspace(q, [p1, p2]) == 0b101
+
+    def test_empty_pivot_set(self):
+        assert maximum_dominating_subspace(np.array([1.0]), []) == 0
+
+    def test_counter_charged_per_pivot(self):
+        counter = DominanceCounter()
+        q = np.zeros(3)
+        maximum_dominating_subspace(q, [np.ones(3)] * 4, counter)
+        assert counter.tests == 4
+
+
+class TestMaskPredicates:
+    def test_implies_incomparable_needs_non_nesting(self):
+        assert implies_incomparable(0b011, 0b101)
+        assert not implies_incomparable(0b001, 0b011)
+        assert not implies_incomparable(0b011, 0b011)
+
+    def test_may_dominate_is_superset_check(self):
+        assert may_dominate(0b111, 0b101)
+        assert may_dominate(0b101, 0b101)
+        assert not may_dominate(0b001, 0b101)
+
+
+@settings(max_examples=200, deadline=None)
+@given(unit_points, unit_points, unit_points)
+def test_lemma_3_5_and_3_6(q1, q2, p):
+    """Non-nested dominating subspaces (w.r.t. any pivot) ⇒ incomparable."""
+    m1 = dominating_subspace(q1, p)
+    m2 = dominating_subspace(q2, p)
+    if implies_incomparable(m1, m2):
+        assert not dominates(q1, q2)
+        assert not dominates(q2, q1)
+    # Lemma 3.6 contrapositive: dominance implies mask superset.
+    if dominates(q1, q2):
+        assert may_dominate(m1, m2)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    unit_points,
+    unit_points,
+    st.lists(unit_points, min_size=1, max_size=4),
+)
+def test_lemma_4_2_and_4_3(q1, q2, pivots):
+    """The multi-pivot generalisations over maximum dominating subspaces."""
+    m1 = maximum_dominating_subspace(q1, pivots)
+    m2 = maximum_dominating_subspace(q2, pivots)
+    if implies_incomparable(m1, m2):
+        assert not dominates(q1, q2)
+        assert not dominates(q2, q1)
+    if dominates(q1, q2):
+        assert may_dominate(m1, m2)

@@ -1,0 +1,94 @@
+"""Unit tests for the AC/CO/UI workload generators."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.data.generators import KINDS, generate
+from repro.errors import InvalidParameterError
+
+
+class TestContracts:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_shape_and_range(self, kind):
+        ds = generate(kind, n=500, d=6, seed=0)
+        assert ds.values.shape == (500, 6)
+        assert ds.values.min() >= 0.0
+        assert ds.values.max() <= 1.0
+        assert ds.kind == kind
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_deterministic_given_seed(self, kind):
+        a = generate(kind, n=200, d=4, seed=7)
+        b = generate(kind, n=200, d=4, seed=7)
+        assert np.array_equal(a.values, b.values)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_different_seeds_differ(self, kind):
+        a = generate(kind, n=200, d=4, seed=1)
+        b = generate(kind, n=200, d=4, seed=2)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_case_insensitive_kind(self):
+        assert generate("ui", 10, 2, seed=0).kind == "UI"
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(InvalidParameterError):
+            generate("XX", 10, 2)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(InvalidParameterError):
+            generate("UI", 0, 2)
+        with pytest.raises(InvalidParameterError):
+            generate("UI", 10, 0)
+
+    def test_name_encodes_parameters(self):
+        assert generate("AC", 50, 3, seed=0).name == "AC-3D-50"
+
+    def test_d1_supported(self):
+        ds = generate("AC", 100, 1, seed=0)
+        assert ds.dimensionality == 1
+
+
+class TestCorrelationStructure:
+    def test_co_columns_positively_correlated(self):
+        ds = generate("CO", n=3000, d=4, seed=5)
+        corr = np.corrcoef(ds.values.T)
+        off_diag = corr[~np.eye(4, dtype=bool)]
+        assert off_diag.min() > 0.5
+
+    def test_ac_columns_negatively_correlated(self):
+        ds = generate("AC", n=3000, d=4, seed=5)
+        corr = np.corrcoef(ds.values.T)
+        off_diag = corr[~np.eye(4, dtype=bool)]
+        assert off_diag.max() < 0.0
+
+    def test_ui_columns_uncorrelated(self):
+        ds = generate("UI", n=5000, d=4, seed=5)
+        corr = np.corrcoef(ds.values.T)
+        off_diag = corr[~np.eye(4, dtype=bool)]
+        assert np.abs(off_diag).max() < 0.1
+
+    def test_ac_sums_concentrate(self):
+        """AC points hug a constant-sum plane (the defining property)."""
+        ds = generate("AC", n=3000, d=6, seed=5)
+        sums = ds.values.sum(axis=1)
+        assert sums.std() < 0.5
+
+
+class TestSkylineSizeOrdering:
+    def test_table1_shape_ac_gg_ui_gg_co(self):
+        """The Table 1 ordering: AC >> UI >> CO skyline sizes."""
+        sizes = {}
+        for kind in KINDS:
+            ds = generate(kind, n=1500, d=6, seed=9)
+            sizes[kind] = repro.skyline(ds, algorithm="sdi").size
+        assert sizes["AC"] > 3 * sizes["UI"] > sizes["CO"]
+
+    def test_skyline_grows_with_dimensionality(self):
+        previous = 0
+        for d in (2, 4, 6, 8):
+            ds = generate("UI", n=1500, d=d, seed=10)
+            size = repro.skyline(ds, algorithm="sdi").size
+            assert size > previous
+            previous = size

@@ -1,0 +1,84 @@
+"""Unit tests for the synthetic HOUSE/NBA/WEATHER equivalents."""
+
+import numpy as np
+import pytest
+
+from repro.data.real import (
+    HOUSE_CARDINALITY,
+    NBA_CARDINALITY,
+    WEATHER_CARDINALITY,
+    house,
+    nba,
+    weather,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestShapes:
+    def test_house_dimensionality(self):
+        ds = house(500, seed=0)
+        assert ds.values.shape == (500, 6)
+        assert ds.kind == "REAL"
+
+    def test_nba_dimensionality(self):
+        ds = nba(500, seed=0)
+        assert ds.values.shape == (500, 8)
+
+    def test_weather_dimensionality(self):
+        ds = weather(500, seed=0)
+        assert ds.values.shape == (500, 15)
+
+    def test_paper_cardinalities_recorded(self):
+        assert HOUSE_CARDINALITY == 127_931
+        assert NBA_CARDINALITY == 17_264
+        assert WEATHER_CARDINALITY == 566_268
+
+    @pytest.mark.parametrize("factory", [house, nba, weather])
+    def test_rejects_nonpositive_cardinality(self, factory):
+        with pytest.raises(InvalidParameterError):
+            factory(0)
+
+    @pytest.mark.parametrize("factory", [house, nba, weather])
+    def test_deterministic(self, factory):
+        a = factory(300, seed=5)
+        b = factory(300, seed=5)
+        assert np.array_equal(a.values, b.values)
+
+
+class TestCharacteristics:
+    def test_house_is_anti_correlated(self):
+        """Budget shares trade off against each other (the AC property)."""
+        ds = house(4000, seed=1)
+        shares = ds.values / ds.values.sum(axis=1, keepdims=True)
+        corr = np.corrcoef(shares.T)
+        off_diag = corr[~np.eye(6, dtype=bool)]
+        assert off_diag.mean() < 0.0
+
+    def test_house_non_negative(self):
+        assert house(500, seed=2).values.min() >= 0.0
+
+    def test_nba_is_correlated(self):
+        """Latent skill makes the flipped stats positively correlated."""
+        ds = nba(4000, seed=1)
+        corr = np.corrcoef(ds.values.T)
+        off_diag = corr[~np.eye(8, dtype=bool)]
+        assert off_diag.mean() > 0.3
+
+    def test_nba_small_skyline(self):
+        import repro
+
+        ds = nba(3000, seed=3)
+        size = repro.skyline(ds, algorithm="sdi").size
+        assert size < 0.05 * len(ds)  # correlated data -> tiny skyline
+
+    def test_weather_has_heavy_duplicates(self):
+        """Section 6.3: WEATHER has many duplicate values per dimension."""
+        ds = weather(5000, seed=1)
+        for dim in range(5):  # the most heavily quantised dimensions
+            distinct = np.unique(ds.values[:, dim]).shape[0]
+            assert distinct <= 32
+
+    def test_weather_values_in_unit_range(self):
+        ds = weather(500, seed=2)
+        assert ds.values.min() >= 0.0
+        assert ds.values.max() <= 1.0

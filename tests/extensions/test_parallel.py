@@ -1,0 +1,55 @@
+"""Unit tests for the multiprocessing parallel skyline."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate
+from repro.errors import InvalidParameterError
+from repro.extensions.parallel import parallel_skyline
+from repro.stats.counters import DominanceCounter
+from tests.conftest import brute_skyline_ids
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate("UI", n=600, d=4, seed=5)
+
+
+class TestParallelSkyline:
+    def test_workers_validation(self, dataset):
+        with pytest.raises(InvalidParameterError):
+            parallel_skyline(dataset, workers=0)
+
+    def test_single_worker_is_sequential(self, dataset):
+        got = parallel_skyline(dataset, workers=1)
+        assert list(got) == brute_skyline_ids(dataset.values)
+
+    @pytest.mark.parametrize("workers", [2, 3, 4])
+    def test_matches_oracle(self, workers, dataset):
+        got = parallel_skyline(dataset, workers=workers)
+        assert list(got) == brute_skyline_ids(dataset.values)
+
+    def test_more_workers_than_points(self):
+        values = np.array([[1.0, 2.0], [2.0, 1.0], [3.0, 3.0]])
+        got = parallel_skyline(values, workers=16)
+        assert list(got) == [0, 1]
+
+    def test_counter_includes_worker_tests(self, dataset):
+        counter = DominanceCounter()
+        parallel_skyline(dataset, workers=2, counter=counter)
+        sequential = DominanceCounter()
+        parallel_skyline(dataset, workers=1, counter=sequential)
+        assert counter.tests > 0
+        # Workers test within blocks plus a merge pass: roughly comparable
+        # magnitude to the sequential run, never orders of magnitude off.
+        assert counter.tests < 10 * sequential.tests + dataset.cardinality
+
+    def test_algorithm_choices(self, dataset):
+        got = parallel_skyline(
+            dataset, workers=2, algorithm="salsa", merge_algorithm="sdi"
+        )
+        assert list(got) == brute_skyline_ids(dataset.values)
+
+    def test_duplicate_heavy(self, duplicate_heavy):
+        got = parallel_skyline(duplicate_heavy, workers=3)
+        assert list(got) == brute_skyline_ids(duplicate_heavy.values)

@@ -1,0 +1,73 @@
+"""Unit tests for subspace skylines and the skycube."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.extensions.skycube import Skycube, subspace_skyline
+from tests.conftest import brute_skyline_ids
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(0)
+    return rng.random((120, 4))
+
+
+class TestSubspaceSkyline:
+    def test_matches_projected_oracle(self, points):
+        for dims in ([0], [1, 3], [0, 1, 2], [0, 1, 2, 3]):
+            got = list(subspace_skyline(points, dims))
+            assert got == brute_skyline_ids(points[:, dims])
+
+    def test_dims_deduplicated_and_sorted(self, points):
+        a = subspace_skyline(points, [2, 0, 2])
+        b = subspace_skyline(points, [0, 2])
+        assert np.array_equal(a, b)
+
+    def test_rejects_empty_and_out_of_range(self, points):
+        with pytest.raises(InvalidParameterError):
+            subspace_skyline(points, [])
+        with pytest.raises(InvalidParameterError):
+            subspace_skyline(points, [7])
+        with pytest.raises(InvalidParameterError):
+            subspace_skyline(points, [-1])
+
+    def test_single_dimension_keeps_all_minima(self):
+        values = np.array([[1.0, 9.0], [1.0, 5.0], [2.0, 0.0]])
+        got = list(subspace_skyline(values, [0]))
+        assert got == [0, 1]  # both share the minimum in dim 0
+
+    def test_counter_threading(self, points):
+        from repro.stats.counters import DominanceCounter
+
+        counter = DominanceCounter()
+        subspace_skyline(points, [0, 1], counter=counter)
+        assert counter.tests > 0
+
+
+class TestSkycube:
+    def test_cuboid_count(self, points):
+        cube = Skycube(points)
+        assert len(cube) == 2**4 - 1
+
+    def test_every_cuboid_matches_oracle(self, points):
+        cube = Skycube(points)
+        for dims, size in cube.sizes().items():
+            expected = brute_skyline_ids(points[:, list(dims)])
+            assert list(cube.skyline(list(dims))) == expected
+            assert size == len(expected)
+
+    def test_unknown_subspace_rejected(self, points):
+        cube = Skycube(points)
+        with pytest.raises(InvalidParameterError):
+            cube.skyline([9])
+
+    def test_dimensionality_guard(self):
+        with pytest.raises(InvalidParameterError):
+            Skycube(np.ones((2, 17)))
+
+    def test_counter_accumulates_across_cuboids(self, points):
+        cube = Skycube(points)
+        assert cube.counter.tests > 0
+        assert cube.dimensionality == 4

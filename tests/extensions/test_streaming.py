@@ -1,0 +1,150 @@
+"""Unit and property tests for the streaming skyline extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionMismatchError, InvalidParameterError
+from repro.extensions.streaming import StreamingSkyline
+from tests.conftest import brute_skyline_ids
+
+
+class TestBasics:
+    def test_construction_validation(self):
+        with pytest.raises(InvalidParameterError):
+            StreamingSkyline(d=0)
+        with pytest.raises(InvalidParameterError):
+            StreamingSkyline(d=3, anchors=0)
+
+    def test_insert_returns_increasing_ids(self):
+        sky = StreamingSkyline(d=2)
+        assert sky.insert([1.0, 2.0]) == 0
+        assert sky.insert([2.0, 1.0]) == 1
+        assert len(sky) == 2
+
+    def test_dimension_mismatch(self):
+        sky = StreamingSkyline(d=3)
+        with pytest.raises(DimensionMismatchError):
+            sky.insert([1.0, 2.0])
+
+    def test_nan_rejected(self):
+        sky = StreamingSkyline(d=2)
+        with pytest.raises(InvalidParameterError):
+            sky.insert([np.nan, 1.0])
+
+    def test_delete_unknown_id(self):
+        sky = StreamingSkyline(d=2)
+        with pytest.raises(KeyError):
+            sky.delete(5)
+
+    def test_delete_is_permanent(self):
+        sky = StreamingSkyline(d=2)
+        pid = sky.insert([1.0, 1.0])
+        sky.delete(pid)
+        with pytest.raises(KeyError):
+            sky.delete(pid)
+        assert len(sky) == 0
+
+    def test_dominated_insert_is_buffered(self):
+        sky = StreamingSkyline(d=2)
+        sky.insert([1.0, 1.0])
+        dominated = sky.insert([2.0, 2.0])
+        assert dominated not in set(sky.skyline_ids())
+        assert len(sky) == 2
+
+    def test_insert_demotes_dominated_skyline(self):
+        sky = StreamingSkyline(d=2)
+        old = sky.insert([2.0, 2.0])
+        new = sky.insert([1.0, 1.0])
+        assert sky.skyline_ids() == [new]
+        sky.delete(new)
+        assert sky.skyline_ids() == [old]  # demoted point resurfaces
+
+    def test_duplicates_are_both_skyline(self):
+        sky = StreamingSkyline(d=2)
+        a = sky.insert([1.0, 1.0])
+        b = sky.insert([1.0, 1.0])
+        assert sky.skyline_ids() == [a, b]
+
+    def test_skyline_points_matrix(self):
+        sky = StreamingSkyline(d=2)
+        sky.insert([1.0, 4.0])
+        sky.insert([4.0, 1.0])
+        pts = sky.skyline_points()
+        assert pts.shape == (2, 2)
+        assert list(pts[0]) == [1.0, 4.0]
+
+    def test_empty_skyline_points(self):
+        assert StreamingSkyline(d=3).skyline_points().shape == (0, 3)
+
+    def test_counter_accumulates(self):
+        sky = StreamingSkyline(d=2)
+        sky.insert([1.0, 2.0])
+        sky.insert([2.0, 1.0])
+        assert sky.counter.tests > 0
+
+
+class TestEquivalenceWithBatch:
+    def test_insert_only_stream(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((200, 3))
+        sky = StreamingSkyline(d=3, anchors=5)
+        for p in pts:
+            sky.insert(p)
+        assert sky.skyline_ids() == brute_skyline_ids(pts)
+
+    def test_sliding_window_stream(self):
+        """Insert a window of 80 points, then slide: delete oldest, insert."""
+        rng = np.random.default_rng(1)
+        pts = rng.random((200, 3))
+        sky = StreamingSkyline(d=3, anchors=4)
+        ids = []
+        for i in range(80):
+            ids.append(sky.insert(pts[i]))
+        for i in range(80, 200):
+            sky.delete(ids[i - 80])
+            ids.append(sky.insert(pts[i]))
+        window = pts[120:200]
+        expected = [ids[120 + k] for k in brute_skyline_ids(window)]
+        assert sky.skyline_ids() == sorted(expected)
+
+    def test_delete_everything(self):
+        rng = np.random.default_rng(2)
+        sky = StreamingSkyline(d=2)
+        ids = [sky.insert(p) for p in rng.random((40, 2))]
+        for pid in ids:
+            sky.delete(pid)
+        assert len(sky) == 0
+        assert sky.skyline_ids() == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.lists(st.floats(0, 1, allow_nan=False, width=16), min_size=3, max_size=3),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_random_interleavings_match_batch(ops):
+    """Any insert/delete interleaving ends at the batch skyline."""
+    sky = StreamingSkyline(d=3, anchors=3)
+    live: dict[int, list[float]] = {}
+    for coords, is_delete in ops:
+        if is_delete and live:
+            victim = next(iter(live))
+            del live[victim]
+            sky.delete(victim)
+        else:
+            pid = sky.insert(coords)
+            live[pid] = coords
+    if live:
+        order = sorted(live)
+        expected = [order[k] for k in brute_skyline_ids(np.array([live[i] for i in order]))]
+        assert sky.skyline_ids() == expected
+    else:
+        assert sky.skyline_ids() == []

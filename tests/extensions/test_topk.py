@@ -1,0 +1,77 @@
+"""Unit tests for top-k dominating queries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.extensions.topk import dominance_score, top_k_dominating
+from repro.stats.counters import DominanceCounter
+
+
+def brute_scores(values: np.ndarray) -> list[int]:
+    n = values.shape[0]
+    scores = []
+    for i in range(n):
+        count = 0
+        for j in range(n):
+            if j != i and np.all(values[i] <= values[j]) and np.any(values[i] < values[j]):
+                count += 1
+        scores.append(count)
+    return scores
+
+
+class TestDominanceScore:
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(0)
+        values = rng.random((80, 3))
+        expected = brute_scores(values)
+        for i in range(80):
+            assert dominance_score(values, i) == expected[i]
+
+    def test_id_validation(self):
+        with pytest.raises(InvalidParameterError):
+            dominance_score(np.ones((3, 2)), 3)
+
+    def test_counter_charged(self):
+        counter = DominanceCounter()
+        dominance_score(np.ones((10, 2)), 0, counter)
+        assert counter.tests == 9
+
+    def test_duplicates_not_self_dominating(self):
+        values = np.ones((5, 2))
+        assert dominance_score(values, 0) == 0
+
+
+class TestTopKDominating:
+    def test_k_validation(self):
+        with pytest.raises(InvalidParameterError):
+            top_k_dominating(np.ones((2, 2)), k=0)
+
+    @pytest.mark.parametrize("k", [1, 2, 5, 10])
+    def test_matches_bruteforce_ranking(self, k):
+        rng = np.random.default_rng(k)
+        values = rng.random((120, 3))
+        scores = brute_scores(values)
+        expected = sorted(
+            ((i, s) for i, s in enumerate(scores)), key=lambda p: (-p[1], p[0])
+        )[:k]
+        assert top_k_dominating(values, k=k) == expected
+
+    def test_chain_example(self):
+        values = np.array([[float(i)] * 2 for i in range(6)])
+        assert top_k_dominating(values, k=3) == [(0, 5), (1, 4), (2, 3)]
+
+    def test_k_larger_than_dataset(self):
+        values = np.array([[1.0, 2.0], [2.0, 1.0]])
+        assert top_k_dominating(values, k=10) == [(0, 0), (1, 0)]
+
+    def test_top1_is_a_skyline_point(self, ui_small):
+        import repro
+
+        (top, _), = top_k_dominating(ui_small, k=1)
+        assert top in repro.skyline(ui_small, algorithm="bruteforce")
+
+    def test_scores_descending(self, ui_small):
+        result = top_k_dominating(ui_small, k=8)
+        scores = [s for _, s in result]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,44 @@
+"""Unit tests for the dominance counter."""
+
+import pytest
+
+from repro.stats.counters import DominanceCounter
+
+
+class TestDominanceCounter:
+    def test_starts_at_zero(self):
+        counter = DominanceCounter()
+        assert counter.tests == 0
+        assert counter.index_queries == 0
+        assert counter.index_nodes_visited == 0
+
+    def test_add_default_and_bulk(self):
+        counter = DominanceCounter()
+        counter.add()
+        counter.add(10)
+        assert counter.tests == 11
+
+    def test_add_query(self):
+        counter = DominanceCounter()
+        counter.add_query(5)
+        counter.add_query(3)
+        assert counter.index_queries == 2
+        assert counter.index_nodes_visited == 8
+
+    def test_mean_tests(self):
+        counter = DominanceCounter(tests=500)
+        assert counter.mean_tests(100) == 5.0
+
+    def test_mean_tests_rejects_bad_cardinality(self):
+        with pytest.raises(ValueError):
+            DominanceCounter().mean_tests(0)
+
+    def test_reset(self):
+        counter = DominanceCounter(tests=3)
+        counter.add_query(2)
+        counter.extras["x"] = 1.0
+        counter.reset()
+        assert counter.tests == 0
+        assert counter.index_queries == 0
+        assert counter.index_nodes_visited == 0
+        assert counter.extras == {}

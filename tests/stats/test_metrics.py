@@ -1,0 +1,65 @@
+"""Unit tests for the evaluation metrics."""
+
+import pytest
+
+from repro.stats.metrics import (
+    MetricRow,
+    format_gain,
+    mean_dominance_tests,
+    performance_gain,
+    summarize,
+)
+
+
+class TestMeanDominanceTests:
+    def test_ratio(self):
+        assert mean_dominance_tests(1000, 200) == 5.0
+
+    def test_rejects_zero_cardinality(self):
+        with pytest.raises(ValueError):
+            mean_dominance_tests(10, 0)
+
+
+class TestPerformanceGain:
+    def test_gain_above_one(self):
+        assert performance_gain(10.0, 2.0) == 5.0
+
+    def test_no_gain_is_none(self):
+        assert performance_gain(2.0, 10.0) is None
+        assert performance_gain(2.0, 2.0) is None
+
+    def test_zero_boosted(self):
+        assert performance_gain(5.0, 0.0) == float("inf")
+        assert performance_gain(0.0, 0.0) is None
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            performance_gain(-1.0, 2.0)
+
+    def test_formatting(self):
+        assert format_gain(None) == "-"
+        assert format_gain(4.843) == "x 4.84"
+        assert format_gain(float("inf")) == "x inf"
+
+
+class TestMetricRow:
+    def test_derived_metrics(self):
+        row = MetricRow(
+            algorithm="sfs",
+            dominance_tests=5000,
+            cardinality=1000,
+            elapsed_seconds=0.25,
+            skyline_size=42,
+        )
+        assert row.mean_dt == 5.0
+        assert row.elapsed_ms == 250.0
+
+    def test_summarize_indexes_by_algorithm(self):
+        rows = [
+            MetricRow("sfs", 100, 10, 0.1, 3),
+            MetricRow("sdi", 50, 10, 0.05, 3),
+        ]
+        summary = summarize(rows)
+        assert summary["sfs"]["dt"] == 10.0
+        assert summary["sdi"]["rt_ms"] == 50.0
+        assert summary["sdi"]["skyline"] == 3.0

@@ -1,0 +1,84 @@
+"""Unit and property tests for the bitset subspace representation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.structures import bitset
+
+subspaces = st.integers(min_value=0, max_value=(1 << 12) - 1)
+
+
+class TestRoundTrips:
+    def test_from_dims_to_dims(self):
+        assert bitset.to_dims(bitset.from_dims([0, 2, 3])) == [0, 2, 3]
+
+    def test_empty(self):
+        assert bitset.from_dims([]) == bitset.EMPTY
+        assert bitset.to_dims(0) == []
+
+    def test_duplicates_collapse(self):
+        assert bitset.from_dims([1, 1, 1]) == 0b10
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError):
+            bitset.from_dims([-1])
+
+    def test_bits_of_order(self):
+        assert list(bitset.bits_of(0b101001)) == [0, 3, 5]
+
+
+class TestPredicates:
+    def test_popcount(self):
+        assert bitset.popcount(0) == 0
+        assert bitset.popcount(0b1011) == 3
+
+    def test_subset_superset(self):
+        assert bitset.is_subset(0b001, 0b011)
+        assert bitset.is_subset(0b011, 0b011)
+        assert not bitset.is_subset(0b100, 0b011)
+        assert bitset.is_superset(0b011, 0b001)
+        assert not bitset.is_superset(0b001, 0b011)
+
+    def test_proper_subset(self):
+        assert bitset.is_proper_subset(0b001, 0b011)
+        assert not bitset.is_proper_subset(0b011, 0b011)
+
+    def test_complement(self):
+        assert bitset.complement(0b0101, 4) == 0b1010
+        assert bitset.complement(0, 3) == 0b111
+
+    def test_complement_rejects_out_of_range_bits(self):
+        with pytest.raises(ValueError):
+            bitset.complement(0b1000, 3)
+
+    def test_universe(self):
+        assert bitset.universe(0) == 0
+        assert bitset.universe(4) == 0b1111
+        with pytest.raises(ValueError):
+            bitset.universe(-1)
+
+
+@given(subspaces)
+def test_complement_is_involution(mask):
+    d = 12
+    assert bitset.complement(bitset.complement(mask, d), d) == mask
+
+
+@given(subspaces, subspaces)
+def test_subset_reverses_under_complement(a, b):
+    d = 12
+    if bitset.is_subset(a, b):
+        assert bitset.is_superset(bitset.complement(a, d), bitset.complement(b, d))
+
+
+@given(subspaces)
+def test_popcount_matches_to_dims(mask):
+    assert bitset.popcount(mask) == len(bitset.to_dims(mask))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=20), max_size=10))
+def test_from_dims_membership(dims):
+    mask = bitset.from_dims(dims)
+    for dim in range(21):
+        assert ((mask >> dim) & 1 == 1) == (dim in set(dims))

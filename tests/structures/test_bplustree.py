@@ -1,0 +1,97 @@
+"""Unit and property tests for the in-memory B+-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.structures.bplustree import BPlusTree, bulk_load
+
+
+class TestBasics:
+    def test_order_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BPlusTree(order=2)
+
+    def test_empty_tree(self):
+        tree = BPlusTree(order=4)
+        assert len(tree) == 0
+        assert tree.get(1) == []
+        assert list(tree.items()) == []
+        with pytest.raises(KeyError):
+            tree.min_item()
+
+    def test_insert_and_get(self):
+        tree = BPlusTree(order=4)
+        tree.insert(3, "a")
+        tree.insert(1, "b")
+        assert tree.get(3) == ["a"]
+        assert tree.get(2) == []
+        assert len(tree) == 2
+
+    def test_duplicate_keys_accumulate(self):
+        tree = BPlusTree(order=4)
+        for value in "xyz":
+            tree.insert(5, value)
+        assert tree.get(5) == ["x", "y", "z"]
+        assert len(tree) == 3
+
+    def test_items_sorted_after_many_splits(self):
+        tree = BPlusTree(order=3)
+        keys = [7, 1, 9, 3, 8, 2, 6, 4, 5, 0]
+        for k in keys:
+            tree.insert(k, k * 10)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+        assert [v for _, v in tree.items()] == [k * 10 for k in sorted(keys)]
+        tree.check_invariants()
+
+    def test_min_item(self):
+        tree = bulk_load([(5, "x"), (2, "y"), (9, "z")], order=3)
+        assert tree.min_item() == (2, "y")
+
+    def test_range_scan(self):
+        tree = bulk_load([(k, str(k)) for k in range(20)], order=4)
+        got = [k for k, _ in tree.range(5, 11)]
+        assert got == list(range(5, 11))
+
+    def test_range_scan_excludes_hi(self):
+        tree = bulk_load([(k, k) for k in [1, 2, 3]], order=4)
+        assert [k for k, _ in tree.range(1, 3)] == [1, 2]
+
+    def test_keys_distinct_sorted(self):
+        tree = bulk_load([(k % 5, k) for k in range(25)], order=3)
+        assert list(tree.keys()) == [0, 1, 2, 3, 4]
+
+    def test_float_keys(self):
+        tree = bulk_load([(0.3, "a"), (0.1, "b"), (0.2, "c")], order=3)
+        assert [k for k, _ in tree.items()] == [0.1, 0.2, 0.3]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-1000, max_value=1000), max_size=200),
+    st.integers(min_value=3, max_value=16),
+)
+def test_tree_matches_sorted_reference(keys, order):
+    tree = BPlusTree(order=order)
+    for i, key in enumerate(keys):
+        tree.insert(key, i)
+    tree.check_invariants()
+    assert len(tree) == len(keys)
+    expected = sorted(
+        ((key, i) for i, key in enumerate(keys)), key=lambda kv: (kv[0], kv[1])
+    )
+    assert list(tree.items()) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=120))
+def test_range_matches_filter(keys):
+    tree = BPlusTree(order=5)
+    for i, key in enumerate(keys):
+        tree.insert(key, i)
+    lo, hi = np.percentile(keys, [25, 75])
+    got = sorted(k for k, _ in tree.range(lo, hi))
+    expected = sorted(k for k in keys if lo <= k < hi)
+    assert got == expected

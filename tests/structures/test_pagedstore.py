@@ -1,0 +1,68 @@
+"""Unit tests for the simulated paged disk."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.structures.pagedstore import IOCounter, PagedFile
+
+
+class TestIOCounter:
+    def test_tallies(self):
+        io = IOCounter()
+        io.read()
+        io.read(3)
+        io.write(2)
+        assert io.reads == 4
+        assert io.writes == 2
+        assert io.total == 6
+
+
+class TestPagedFile:
+    def test_page_size_validation(self):
+        with pytest.raises(InvalidParameterError):
+            PagedFile(IOCounter(), page_size=0)
+
+    def test_append_fills_pages(self):
+        io = IOCounter()
+        file = PagedFile(io, page_size=3)
+        for i in range(7):
+            file.append(i, np.array([float(i)]))
+        file.flush()
+        assert file.n_pages == 3  # 3 + 3 + 1
+        assert len(file) == 7
+        assert io.writes == 3
+
+    def test_flush_empty_is_noop(self):
+        io = IOCounter()
+        file = PagedFile(io, page_size=4)
+        file.flush()
+        assert io.writes == 0
+        assert file.n_pages == 0
+
+    def test_read_charges_per_page(self):
+        io = IOCounter()
+        file = PagedFile.from_rows(io, 4, np.arange(10.0).reshape(10, 1))
+        assert io.writes == 0  # the pre-existing input file is free
+        records = [record for page in file.pages() for record in page]
+        assert io.reads == 3
+        assert [row_id for row_id, _ in records] == list(range(10))
+
+    def test_from_rows_can_charge_writes(self):
+        io = IOCounter()
+        PagedFile.from_rows(io, 4, np.arange(10.0).reshape(10, 1), charge_writes=True)
+        assert io.writes == 3
+
+    def test_reading_unflushed_file_rejected(self):
+        file = PagedFile(IOCounter(), page_size=4)
+        file.append(0, np.array([1.0]))
+        with pytest.raises(InvalidParameterError):
+            list(file.pages())
+
+    def test_round_trip_preserves_rows(self):
+        io = IOCounter()
+        rows = np.random.default_rng(0).random((9, 2))
+        file = PagedFile.from_rows(io, 2, rows)
+        for page in file.pages():
+            for row_id, row in page:
+                assert np.array_equal(row, rows[row_id])

@@ -1,0 +1,117 @@
+"""Unit and property tests for the STR R-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import InvalidParameterError
+from repro.structures.rtree import Rect, RTree
+
+
+class TestRect:
+    def test_of_point(self):
+        r = Rect.of_point([1.0, 2.0])
+        assert r.low == r.high == (1.0, 2.0)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(InvalidParameterError):
+            Rect((1.0,), (0.0,))
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            Rect((1.0,), (0.0, 1.0))
+
+    def test_union(self):
+        r = Rect.union([Rect.of_point([0.0, 5.0]), Rect.of_point([3.0, 1.0])])
+        assert r.low == (0.0, 1.0)
+        assert r.high == (3.0, 5.0)
+
+    def test_union_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Rect.union([])
+
+    def test_contains(self):
+        outer = Rect((0.0, 0.0), (2.0, 2.0))
+        inner = Rect((0.5, 0.5), (1.0, 1.0))
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_mindist_is_l1_of_low_corner(self):
+        assert Rect((1.0, 2.0), (5.0, 5.0)).mindist() == 3.0
+
+    def test_mindist_clamps_negative_coords(self):
+        assert Rect((-1.0, 2.0), (5.0, 5.0)).mindist() == 2.0
+
+
+class TestRTree:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            RTree(np.ones((3, 2)), max_entries=1)
+        with pytest.raises(InvalidParameterError):
+            RTree(np.ones(3))
+
+    def test_bulk_load_contains_all_entries(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((100, 3))
+        tree = RTree(pts, max_entries=4)
+        assert len(tree) == 100
+        got = sorted(pid for pid, _ in tree.iter_entries())
+        assert got == list(range(100))
+        tree.check_invariants()
+
+    def test_entries_carry_correct_coords(self):
+        pts = np.array([[0.1, 0.2], [0.3, 0.4]])
+        tree = RTree(pts, max_entries=4)
+        entries = dict(tree.iter_entries())
+        assert entries[0] == (0.1, 0.2)
+        assert entries[1] == (0.3, 0.4)
+
+    def test_single_point(self):
+        tree = RTree(np.array([[1.0, 1.0]]))
+        assert len(tree) == 1
+        tree.check_invariants()
+
+    def test_insert_after_bulk_load(self):
+        rng = np.random.default_rng(1)
+        tree = RTree(rng.random((20, 2)), max_entries=4)
+        for i in range(20, 60):
+            tree.insert(i, rng.random(2))
+        assert len(tree) == 60
+        assert sorted(pid for pid, _ in tree.iter_entries()) == list(range(60))
+        tree.check_invariants()
+
+    def test_insert_into_empty(self):
+        tree = RTree(np.empty((0, 2)).reshape(0, 2), max_entries=4)
+        tree.insert(0, [0.5, 0.5])
+        assert len(tree) == 1
+        assert list(tree.iter_entries()) == [(0, (0.5, 0.5))]
+
+    def test_insert_rejects_dim_mismatch(self):
+        tree = RTree(np.ones((2, 3)))
+        with pytest.raises(InvalidParameterError):
+            tree.insert(9, [1.0, 2.0])
+
+    def test_root_mbr_covers_everything(self):
+        rng = np.random.default_rng(2)
+        pts = rng.random((64, 4))
+        tree = RTree(pts, max_entries=5)
+        root = tree.root.rect
+        assert np.allclose(root.low, pts.min(axis=0))
+        assert np.allclose(root.high, pts.max(axis=0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(1, 120), st.integers(1, 5)),
+        elements=st.floats(0, 1, allow_nan=False),
+    ),
+    st.integers(2, 10),
+)
+def test_str_bulk_load_invariants(points, max_entries):
+    tree = RTree(points, max_entries=max_entries)
+    tree.check_invariants()
+    assert len(tree) == points.shape[0]

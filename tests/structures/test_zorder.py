@@ -1,0 +1,82 @@
+"""Unit and property tests for Z-order addressing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.structures.zorder import grid_coordinates, z_address, z_addresses
+
+
+class TestGridCoordinates:
+    def test_range_and_dtype(self):
+        rng = np.random.default_rng(0)
+        grid = grid_coordinates(rng.random((50, 3)), bits=8)
+        assert grid.dtype == np.int64
+        assert grid.min() >= 0
+        assert grid.max() <= 255
+
+    def test_monotone_per_dimension(self):
+        values = np.array([[0.1, 0.9], [0.5, 0.5], [0.9, 0.1]])
+        grid = grid_coordinates(values, bits=10)
+        assert grid[0, 0] <= grid[1, 0] <= grid[2, 0]
+        assert grid[0, 1] >= grid[1, 1] >= grid[2, 1]
+
+    def test_constant_column_is_safe(self):
+        values = np.ones((5, 2))
+        grid = grid_coordinates(values, bits=4)
+        assert (grid == 0).all()
+
+    def test_bits_validation(self):
+        with pytest.raises(InvalidParameterError):
+            grid_coordinates(np.ones((2, 2)), bits=0)
+        with pytest.raises(InvalidParameterError):
+            grid_coordinates(np.ones((2, 2)), bits=22)
+        with pytest.raises(InvalidParameterError):
+            grid_coordinates(np.ones(3))
+
+
+class TestZAddress:
+    def test_interleaving_2d(self):
+        # cell (x=1, y=0) -> bit 0 set; cell (x=0, y=1) -> bit 1 set.
+        assert z_address(np.array([1, 0])) == 1
+        assert z_address(np.array([0, 1])) == 2
+        assert z_address(np.array([3, 0])) == 0b0101
+        assert z_address(np.array([0, 3])) == 0b1010
+
+    def test_zero_cell(self):
+        assert z_address(np.array([0, 0, 0])) == 0
+
+    def test_batch_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        grid = rng.integers(0, 1 << 10, size=(40, 3))
+        batch = z_addresses(grid, bits=10)
+        for row, addr in zip(grid, batch):
+            assert z_address(row) == addr
+
+    def test_batch_validates_shape(self):
+        with pytest.raises(InvalidParameterError):
+            z_addresses(np.ones(3, dtype=np.int64))
+
+    def test_high_dimensional_addresses_exceed_64_bits(self):
+        grid = np.full((1, 24), (1 << 16) - 1, dtype=np.int64)
+        (addr,) = z_addresses(grid, bits=16)
+        assert addr.bit_length() == 24 * 16
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(1, 5).flatmap(
+        lambda d: st.tuples(
+            st.lists(st.integers(0, 255), min_size=d, max_size=d),
+            st.lists(st.integers(0, 255), min_size=d, max_size=d),
+        )
+    )
+)
+def test_z_order_monotone_under_componentwise_le(cells):
+    """If cell a <= cell b componentwise, then z(a) <= z(b)."""
+    a, b = (np.array(c) for c in cells)
+    lo = np.minimum(a, b)
+    assert z_address(lo) <= z_address(a)
+    assert z_address(lo) <= z_address(b)

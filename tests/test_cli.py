@@ -1,0 +1,65 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data.io import load_csv, load_npy
+
+
+class TestGenerate:
+    def test_csv(self, tmp_path, capsys):
+        out = tmp_path / "ui.csv"
+        assert main(["generate", "UI", str(out), "-n", "50", "-d", "3"]) == 0
+        loaded = load_csv(out)
+        assert loaded.values.shape == (50, 3)
+        assert "wrote" in capsys.readouterr().out
+
+    def test_npy(self, tmp_path):
+        out = tmp_path / "ac.npy"
+        assert main(["generate", "AC", str(out), "-n", "40", "-d", "2"]) == 0
+        assert load_npy(out).values.shape == (40, 2)
+
+    def test_real_kind(self, tmp_path):
+        out = tmp_path / "nba.csv"
+        assert main(["generate", "nba", str(out), "-n", "30"]) == 0
+        assert load_csv(out).values.shape == (30, 8)
+
+    def test_bad_kind_reports_error(self, tmp_path, capsys):
+        assert main(["generate", "XX", str(tmp_path / "x.csv")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_on_generated_workload(self, capsys):
+        assert main(["run", "-a", "sfs", "--kind", "UI", "-n", "80", "-d", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "skyline" in out
+        assert "mean DT" in out
+
+    def test_on_file(self, tmp_path, capsys):
+        path = tmp_path / "d.csv"
+        main(["generate", "UI", str(path), "-n", "60", "-d", "3"])
+        capsys.readouterr()
+        assert main(["run", "-a", "sdi-subset", "-i", str(path), "--sigma", "2"]) == 0
+        assert "sdi-subset" in capsys.readouterr().out
+
+    def test_ids_flag(self, capsys):
+        assert main(["run", "-a", "sfs", "-n", "30", "-d", "2", "--ids"]) == 0
+        assert "ids" in capsys.readouterr().out
+
+    def test_unknown_algorithm(self, capsys):
+        assert main(["run", "-a", "nope", "-n", "30"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestOthers:
+    def test_algorithms_listing(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "sdi-subset" in out and "bskytree-p" in out
+
+    def test_tune(self, capsys):
+        assert main(["tune", "--kind", "UI", "-n", "200", "-d", "4", "--sample", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "best sigma" in out

@@ -1,0 +1,29 @@
+"""CLI tests for the skyband/topk subcommands."""
+
+from repro.cli import main
+
+
+class TestSkybandCommand:
+    def test_generated_workload(self, capsys):
+        assert main(["skyband", "-k", "2", "--kind", "UI", "-n", "150", "-d", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "2-skyband" in out
+        assert "dominated by 0" in out
+
+    def test_on_file(self, tmp_path, capsys):
+        path = tmp_path / "d.csv"
+        main(["generate", "UI", str(path), "-n", "100", "-d", "3"])
+        capsys.readouterr()
+        assert main(["skyband", "-k", "3", "-i", str(path)]) == 0
+        assert "3-skyband" in capsys.readouterr().out
+
+
+class TestTopkCommand:
+    def test_generated_workload(self, capsys):
+        assert main(["topk", "-k", "3", "--kind", "CO", "-n", "150", "-d", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("dominates") == 3
+
+    def test_invalid_k(self, capsys):
+        assert main(["topk", "-k", "0", "-n", "50", "-d", "2"]) == 2
+        assert "error" in capsys.readouterr().err

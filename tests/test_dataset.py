@@ -1,0 +1,127 @@
+"""Unit tests for the Dataset wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import Dataset, as_dataset
+from repro.errors import InvalidDatasetError
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        ds = Dataset(np.ones((5, 3)), name="x", kind="UI")
+        assert ds.cardinality == 5
+        assert ds.dimensionality == 3
+        assert len(ds) == 5
+        assert ds.kind == "UI"
+
+    def test_values_are_copied_and_read_only(self):
+        raw = np.ones((2, 2))
+        ds = Dataset(raw)
+        raw[0, 0] = 99.0
+        assert ds.values[0, 0] == 1.0
+        with pytest.raises(ValueError):
+            ds.values[0, 0] = 5.0
+
+    def test_rejects_1d(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset(np.ones(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset(np.empty((0, 3)))
+        with pytest.raises(InvalidDatasetError):
+            Dataset(np.empty((3, 0)))
+
+    def test_rejects_nan_and_inf(self):
+        bad = np.ones((2, 2))
+        bad[0, 0] = np.nan
+        with pytest.raises(InvalidDatasetError):
+            Dataset(bad)
+        bad[0, 0] = np.inf
+        with pytest.raises(InvalidDatasetError):
+            Dataset(bad)
+
+    def test_coerces_lists(self):
+        ds = Dataset([[1, 2], [3, 4]])
+        assert ds.values.dtype == np.float64
+
+
+class TestAccessors:
+    def test_point(self):
+        ds = Dataset([[1.0, 2.0], [3.0, 4.0]])
+        assert list(ds.point(1)) == [3.0, 4.0]
+
+    def test_subset_rebases_ids(self):
+        ds = Dataset(np.arange(12, dtype=float).reshape(6, 2), name="base")
+        sub = ds.subset([5, 0])
+        assert sub.cardinality == 2
+        assert list(sub.point(0)) == [10.0, 11.0]
+        assert "base" in sub.name
+
+    def test_minimizing_flips_columns_monotonically(self):
+        ds = Dataset([[1.0, 10.0], [2.0, 30.0]])
+        flipped = ds.minimizing([1])
+        # column 1 flipped: larger original value -> smaller flipped value
+        assert flipped.values[1, 1] < flipped.values[0, 1]
+        # column 0 untouched
+        assert list(flipped.values[:, 0]) == [1.0, 2.0]
+
+    def test_minimizing_preserves_skyline(self):
+        from tests.conftest import brute_skyline_ids
+
+        rng = np.random.default_rng(3)
+        values = rng.random((50, 3))
+        ds = Dataset(values)
+        flipped = ds.minimizing([2])
+        manual = values.copy()
+        manual[:, 2] = manual[:, 2].max() - manual[:, 2]
+        assert brute_skyline_ids(flipped.values) == brute_skyline_ids(manual)
+
+    def test_euclidean_scores(self):
+        ds = Dataset([[3.0, 4.0], [0.0, 0.0]])
+        assert list(ds.euclidean_scores()) == [5.0, 0.0]
+
+    def test_describe_mentions_shape(self):
+        ds = Dataset(np.ones((7, 2)), name="demo", kind="CO")
+        text = ds.describe()
+        assert "N=7" in text and "d=2" in text and "CO" in text
+
+
+class TestFromColumns:
+    def test_builds_named_dataset(self):
+        ds = Dataset.from_columns({"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        assert ds.columns == ("a", "b")
+        assert ds.values.shape == (2, 2)
+        assert list(ds.values[:, 1]) == [3.0, 4.0]
+
+    def test_column_order_preserved(self):
+        ds = Dataset.from_columns({"z": [1.0], "a": [2.0]})
+        assert ds.columns == ("z", "a")
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset.from_columns({})
+
+    def test_rejects_ragged_columns(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset.from_columns({"a": [1.0, 2.0], "b": [3.0]})
+
+    def test_rejects_2d_columns(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset.from_columns({"a": np.ones((2, 2))})
+
+    def test_accepts_numpy_columns(self):
+        ds = Dataset.from_columns({"a": np.arange(3.0), "b": np.ones(3)})
+        assert ds.cardinality == 3
+
+
+class TestAsDataset:
+    def test_passthrough(self):
+        ds = Dataset(np.ones((2, 2)))
+        assert as_dataset(ds) is ds
+
+    def test_coercion(self):
+        ds = as_dataset([[1.0, 2.0]])
+        assert isinstance(ds, Dataset)
+        assert ds.cardinality == 1

@@ -1,0 +1,32 @@
+"""Execute the doctests embedded in the public API's docstrings."""
+
+import doctest
+import importlib
+
+import pytest
+
+# importlib is used instead of attribute access because several package
+# __init__ files re-export a function under the submodule's own name
+# (e.g. ``repro.core.merge`` the module vs ``merge`` the function).
+MODULE_NAMES = [
+    "repro.core.boost",
+    "repro.core.merge",
+    "repro.core.subset_index",
+    "repro.data.generators",
+    "repro.dominance",
+    "repro.extensions.skyband",
+    "repro.extensions.streaming",
+    "repro.extensions.topk",
+    "repro.query",
+    "repro.stats.estimate",
+    "repro.structures.bitset",
+    "repro.structures.bplustree",
+]
+
+
+@pytest.mark.parametrize("name", MODULE_NAMES)
+def test_module_doctests(name):
+    module = importlib.import_module(name)
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{name} has no doctests"
+    assert result.failed == 0

@@ -1,0 +1,178 @@
+"""Unit tests for the dominance kernels and their exact test accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.dominance import (
+    dominance_mask,
+    dominates,
+    dominating_subspace,
+    dominating_subspaces,
+    first_dominator,
+    incomparable,
+    weakly_dominates,
+)
+from repro.stats.counters import DominanceCounter
+
+P = np.array([1.0, 2.0, 3.0])
+Q = np.array([2.0, 2.0, 4.0])
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates(P, Q)
+
+    def test_not_dominated_backwards(self):
+        assert not dominates(Q, P)
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates(P, P.copy())
+
+    def test_weak_inequality_with_one_strict_dimension(self):
+        assert dominates(np.array([1.0, 2.0]), np.array([1.0, 3.0]))
+
+    def test_incomparable_points(self):
+        a = np.array([1.0, 5.0])
+        b = np.array([5.0, 1.0])
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+        assert incomparable(a, b)
+
+    def test_counter_charged_once(self):
+        counter = DominanceCounter()
+        dominates(P, Q, counter)
+        assert counter.tests == 1
+
+    def test_weakly_dominates_accepts_equality(self):
+        assert weakly_dominates(P, P.copy())
+        assert weakly_dominates(P, Q)
+        assert not weakly_dominates(Q, P)
+
+
+class TestDominatingSubspace:
+    def test_strict_win_dimensions_only(self):
+        # q beats p in dim 0; ties and losses are excluded (Definition 3.4).
+        q = np.array([0.0, 2.0, 9.0])
+        assert dominating_subspace(q, P) == 0b001
+
+    def test_empty_when_weakly_dominated(self):
+        # Q is nowhere strictly better than P, so D_{Q<P} is empty.
+        assert dominating_subspace(Q, P) == 0
+        assert dominating_subspace(P, P.copy()) == 0
+
+    def test_full_mask_means_domination_of_pivot(self):
+        q = np.array([0.0, 0.0, 0.0])
+        assert dominating_subspace(q, P) == 0b111
+
+    def test_counter_charged(self):
+        counter = DominanceCounter()
+        dominating_subspace(P, Q, counter)
+        assert counter.tests == 1
+
+    def test_vectorised_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        block = rng.random((40, 6))
+        pivot = rng.random(6)
+        vector = dominating_subspaces(block, pivot)
+        for row, mask in zip(block, vector):
+            assert dominating_subspace(row, pivot) == int(mask)
+
+    def test_vectorised_counter_charged_per_row(self):
+        counter = DominanceCounter()
+        dominating_subspaces(np.zeros((7, 3)), np.ones(3), counter)
+        assert counter.tests == 7
+
+
+class TestFirstDominator:
+    def test_empty_block(self):
+        counter = DominanceCounter()
+        assert first_dominator(np.empty((0, 3)), P, counter) == -1
+        assert counter.tests == 0
+
+    def test_no_dominator_charges_full_block(self):
+        counter = DominanceCounter()
+        block = np.array([[9.0, 9.0, 9.0], [8.0, 8.0, 8.0]])
+        assert first_dominator(block, P, counter) == -1
+        assert counter.tests == 2
+
+    def test_first_dominator_index_and_early_exit_count(self):
+        counter = DominanceCounter()
+        block = np.array(
+            [[9.0, 9.0, 9.0], [0.0, 0.0, 0.0], [0.0, 0.0, 1.0]]
+        )
+        assert first_dominator(block, P, counter) == 1
+        assert counter.tests == 2  # sequential loop would stop at index 1
+
+    def test_equal_row_is_not_a_dominator(self):
+        block = np.array([P])
+        assert first_dominator(block, P) == -1
+
+    def test_matches_sequential_scan(self):
+        rng = np.random.default_rng(9)
+        block = rng.random((60, 4))
+        for _ in range(25):
+            q = rng.random(4)
+            expected = -1
+            for idx, row in enumerate(block):
+                if np.all(row <= q) and np.any(row < q):
+                    expected = idx
+                    break
+            assert first_dominator(block, q) == expected
+
+
+class TestDominanceMask:
+    def test_mask_matches_pairwise(self):
+        rng = np.random.default_rng(2)
+        block = rng.random((30, 3))
+        q = rng.random(3)
+        mask = dominance_mask(block, q)
+        for row, flag in zip(block, mask):
+            assert flag == dominates(row, q)
+
+
+@given(
+    hnp.arrays(np.float64, (2, 4), elements=st.floats(0, 1, allow_nan=False))
+)
+def test_dominance_is_antisymmetric(pair):
+    p, q = pair
+    assert not (dominates(p, q) and dominates(q, p))
+
+
+@given(
+    hnp.arrays(np.float64, (3, 3), elements=st.floats(0, 1, allow_nan=False))
+)
+def test_dominance_is_transitive(triple):
+    a, b, c = triple
+    if dominates(a, b) and dominates(b, c):
+        assert dominates(a, c)
+
+
+@given(
+    hnp.arrays(np.float64, (2, 5), elements=st.floats(0, 1, allow_nan=False))
+)
+def test_superset_mask_property(pair):
+    """q1 <= q2 componentwise implies D_{q1<p} ⊇ D_{q2<p} for any pivot p."""
+    q2, pivot = pair
+    q1 = q2 - 0.25  # q1 dominates or equals q2 componentwise
+    m1 = dominating_subspace(q1, pivot)
+    m2 = dominating_subspace(q2, pivot)
+    assert m2 & ~m1 == 0
+
+
+def test_dominating_subspace_asymmetry_example():
+    # Worked example from Definition 3.4.
+    p = np.array([0.3, 0.7])
+    q = np.array([0.5, 0.2])
+    assert dominating_subspace(q, p) == 0b10
+    assert dominating_subspace(p, q) == 0b01
+
+
+@pytest.mark.parametrize("d", [1, 2, 5, 24])
+def test_dominating_subspaces_supports_dimensionality(d):
+    block = np.zeros((3, d))
+    pivot = np.ones(d)
+    masks = dominating_subspaces(block, pivot)
+    assert list(masks) == [(1 << d) - 1] * 3

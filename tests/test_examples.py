@@ -1,0 +1,36 @@
+"""Smoke tests: every example script runs end-to-end and prints sane output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": "subset index",
+    "hotel_search.py": "pareto-optimal picks",
+    "nba_scouting.py": "skycube",
+    "car_marketplace.py": "top 5 most-dominating",
+    "streaming_offers.py": "final pareto frontier",
+    "tuning_sigma.py": "autotuner picked",
+    "warehouse_catalog.py": "external BNL",
+}
+
+
+def test_every_example_has_an_expectation():
+    assert {p.name for p in EXAMPLES} == set(EXPECTED_SNIPPETS)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert EXPECTED_SNIPPETS[script.name] in completed.stdout

@@ -1,0 +1,106 @@
+"""Shape-regression tests: the paper's qualitative results at small scale.
+
+These tests pin the *relationships* the paper reports — who needs fewer
+dominance tests than whom, per data regime — so a future change that keeps
+algorithms correct but silently destroys the subset approach's advantage
+fails the suite.  All run on scaled workloads; only DT (hardware-free) is
+asserted, never wall-clock.
+"""
+
+import pytest
+
+import repro
+from repro.stats.counters import DominanceCounter
+
+
+def mean_dt(data, algorithm, sigma=None):
+    counter = DominanceCounter()
+    repro.skyline(data, algorithm=algorithm, sigma=sigma, counter=counter)
+    return counter.tests / data.cardinality
+
+
+@pytest.fixture(scope="module")
+def ui8():
+    return repro.generate("UI", n=4000, d=8, seed=0)
+
+
+@pytest.fixture(scope="module")
+def ac8():
+    return repro.generate("AC", n=2000, d=8, seed=0)
+
+
+@pytest.fixture(scope="module")
+def co8():
+    return repro.generate("CO", n=4000, d=8, seed=0)
+
+
+@pytest.mark.slow
+class TestUIShape:
+    """Tables 10/12: the subset approach shines on uniform independent data."""
+
+    def test_boost_gains_on_every_host(self, ui8):
+        for host in ("sfs", "salsa", "sdi"):
+            assert mean_dt(ui8, f"{host}-subset") < mean_dt(ui8, host) / 2
+
+    def test_sdi_subset_is_the_dt_winner(self, ui8):
+        best = mean_dt(ui8, "sdi-subset")
+        for other in ("sfs", "sfs-subset", "salsa", "salsa-subset", "sdi",
+                      "bskytree-s", "bskytree-p"):
+            assert best < mean_dt(ui8, other)
+
+    def test_sdi_beats_sfs_unboosted(self, ui8):
+        assert mean_dt(ui8, "sdi") < mean_dt(ui8, "sfs")
+
+
+@pytest.mark.slow
+class TestCOShape:
+    """Tables 6/8: stop points dominate; the merge puts a ~1.0 DT floor."""
+
+    def test_stop_point_algorithms_below_one(self, co8):
+        assert mean_dt(co8, "salsa") < 1.0
+        assert mean_dt(co8, "sdi") < 1.0
+
+    def test_boosted_pay_the_merge_floor(self, co8):
+        for host in ("salsa", "sdi"):
+            boosted = mean_dt(co8, f"{host}-subset")
+            assert 0.9 <= boosted <= 1.5
+
+    def test_no_boost_gain_for_stop_point_hosts(self, co8):
+        # Table 8 prints "-" for SaLSa and SDI at every cardinality.
+        assert mean_dt(co8, "salsa-subset") > mean_dt(co8, "salsa")
+        assert mean_dt(co8, "sdi-subset") > mean_dt(co8, "sdi")
+
+
+@pytest.mark.slow
+class TestACShape:
+    """Tables 2/4: gains persist on AC, BSkyTree-P leads the baselines."""
+
+    def test_boost_still_reduces_tests(self, ac8):
+        for host in ("sfs", "salsa", "sdi"):
+            assert mean_dt(ac8, f"{host}-subset") < mean_dt(ac8, host)
+
+    def test_pivot_masks_crush_plain_scans(self, ac8):
+        # The BSkyTree incomparability masks skip most AC tests; at paper
+        # scale P additionally beats S, which needs larger N to show.
+        sfs = mean_dt(ac8, "sfs")
+        assert mean_dt(ac8, "bskytree-s") < sfs / 4
+        assert mean_dt(ac8, "bskytree-p") < sfs / 4
+
+
+@pytest.mark.slow
+class TestDimensionalityShape:
+    """Table 10 columns: the boost's gain grows with dimensionality ..."""
+
+    def test_gain_grows_with_d(self):
+        gains = []
+        for d in (4, 6, 8, 10):
+            data = repro.generate("UI", n=2000, d=d, seed=1)
+            gains.append(mean_dt(data, "sfs") / mean_dt(data, "sfs-subset"))
+        assert gains[-1] > gains[0]
+        assert gains[-1] > 3.0
+
+    def test_2d_gain_is_negligible(self):
+        """... and d=2 is explicitly called out as near-useless (§5)."""
+        data = repro.generate("UI", n=2000, d=2, seed=1)
+        gain = mean_dt(data, "sfs") / mean_dt(data, "sfs-subset")
+        assert gain < 1.5
