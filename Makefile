@@ -1,9 +1,14 @@
 PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench experiments report examples lint-docs clean
+.PHONY: install install-dev test test-fast bench experiments report examples \
+        lint typecheck analyze clean
 
 install:
 	$(PYTHON) -m pip install -e ".[test]"
+
+install-dev:
+	$(PYTHON) -m pip install -e ".[dev]"
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -25,6 +30,26 @@ examples:
 		echo "== $$script =="; \
 		$(PYTHON) $$script || exit 1; \
 	done
+
+# Repo-specific invariant lint (RPR rules), then ruff when available.
+lint:
+	$(PYTHON) -m repro.analysis src/repro
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests examples; \
+	else \
+		echo "ruff not installed — skipping style lint (make install-dev)"; \
+	fi
+
+typecheck:
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy src/repro/core src/repro/stats src/repro/analysis; \
+	else \
+		echo "mypy not installed — skipping typecheck (make install-dev)"; \
+	fi
+
+# The full correctness gate: lint rules + runtime contracts + differential.
+analyze:
+	$(PYTHON) -m repro.analysis --strict src/repro
 
 clean:
 	find . -type d -name __pycache__ -exec rm -rf {} +

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -109,7 +109,11 @@ class SkylineAlgorithm(ABC):
         return f"{type(self).__name__}(name={self.name!r})"
 
 
-def _progressive_scan(algorithm, data, counter):
+def _progressive_scan(
+    algorithm: "SortScanAlgorithm",
+    data: Dataset | np.ndarray,
+    counter: DominanceCounter | None,
+) -> Iterator[int]:
     dataset = as_dataset(data)
     counter = counter if counter is not None else DominanceCounter()
     ids = np.arange(dataset.cardinality, dtype=np.intp)
@@ -134,12 +138,17 @@ class _ProgressiveMixin:
     for the rest of the scan.
     """
 
-    def progressive(self, data, counter: DominanceCounter | None = None):
+    def progressive(
+        self,
+        data: Dataset | np.ndarray,
+        counter: DominanceCounter | None = None,
+    ) -> Iterator[int]:
         """Yield skyline ids in scan order; stop consuming any time.
 
         Uses the plain presorted scan (no stop-point shortcuts), so the
         yielded set is always the complete skyline if fully consumed.
         """
+        assert isinstance(self, SortScanAlgorithm)
         return _progressive_scan(self, data, counter)
 
 

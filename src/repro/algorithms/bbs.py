@@ -30,6 +30,8 @@ from repro.errors import InvalidParameterError
 from repro.stats.counters import DominanceCounter
 from repro.structures.rtree import RTree
 
+__all__ = ["BBS"]
+
 
 class BBS(SkylineAlgorithm):
     """Branch-and-bound skyline over an STR bulk-loaded R-tree.

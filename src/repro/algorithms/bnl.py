@@ -23,6 +23,8 @@ from repro.dataset import Dataset
 from repro.errors import InvalidParameterError
 from repro.stats.counters import DominanceCounter
 
+__all__ = ["BNL"]
+
 
 class BNL(SkylineAlgorithm):
     """Block-nested-loops skyline with a bounded window and overflow passes.

@@ -13,6 +13,8 @@ from repro.dataset import Dataset
 from repro.dominance import first_dominator
 from repro.stats.counters import DominanceCounter
 
+__all__ = ["BruteForce"]
+
 
 class BruteForce(SkylineAlgorithm):
     """Nested-loop pairwise comparison; correct, simple, quadratic."""

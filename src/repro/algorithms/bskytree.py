@@ -34,6 +34,9 @@ from repro.dataset import Dataset
 from repro.dominance import dominating_subspaces, first_dominator
 from repro.errors import InvalidParameterError
 from repro.stats.counters import DominanceCounter
+from repro.structures import bitset
+
+__all__ = ["BSkyTreeS", "BSkyTreeP"]
 
 _SAMPLE_CAP = 256
 
@@ -84,7 +87,7 @@ class BSkyTreeS(SkylineAlgorithm):
             point_id = int(point_id)
             q_mask = int(masks[point_id])
             # Candidate dominators: skyline points whose mask ⊇ q's mask.
-            candidate = (q_mask & ~sky_masks) == 0
+            candidate = bitset.subset_of_many(q_mask, sky_masks)
             block = values[np.asarray(sky_ids, dtype=np.intp)[candidate]]
             if first_dominator(block, values[point_id], counter) == -1:
                 sky_ids.append(point_id)
@@ -92,7 +95,7 @@ class BSkyTreeS(SkylineAlgorithm):
         return sky_ids
 
 
-class BSkyTreeP(SkylineAlgorithm):
+class BSkyTreeP(SkylineAlgorithm):  # noqa: RPR003 — S/P are two variants of one baseline; splitting them would duplicate _select_pivot
     """Partitioning variant: recursive 2^d-region division along the lattice.
 
     Parameters
@@ -135,7 +138,7 @@ class BSkyTreeP(SkylineAlgorithm):
             for point_id in local:
                 dominated = False
                 for sup_mask, sup_block in finalized:
-                    if mask & ~sup_mask == 0 and sup_mask != mask:
+                    if bitset.is_proper_subset(mask, sup_mask):
                         if first_dominator(sup_block, values[point_id], counter) != -1:
                             dominated = True
                             break

@@ -21,6 +21,8 @@ from repro.dominance import first_dominator
 from repro.errors import InvalidParameterError
 from repro.stats.counters import DominanceCounter
 
+__all__ = ["DivideAndConquer"]
+
 
 class DivideAndConquer(SkylineAlgorithm):
     """Median-split divide and conquer with a pairwise merge filter.
@@ -56,15 +58,15 @@ class DivideAndConquer(SkylineAlgorithm):
             dim = (depth + probe) % d
             column = values[ids, dim]
             median = float(np.median(column))
-            low_mask = column <= median
-            if 0 < low_mask.sum() < ids.shape[0]:
+            in_low = column <= median
+            if 0 < in_low.sum() < ids.shape[0]:
                 break
         else:
             # Every dimension is constant across this partition: all points
             # are identical, mutually non-dominating -> all are skyline.
             return [int(i) for i in ids]
-        low = ids[low_mask]
-        high = ids[~low_mask]
+        low = ids[in_low]
+        high = ids[~in_low]
         low_sky = self._skyline(values, low, depth + 1, counter)
         high_sky = self._skyline(values, high, depth + 1, counter)
         low_block = values[np.asarray(low_sky, dtype=np.intp)]

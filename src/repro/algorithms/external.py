@@ -20,6 +20,8 @@ from repro.errors import InvalidParameterError
 from repro.stats.counters import DominanceCounter
 from repro.structures.pagedstore import IOCounter, PagedFile
 
+__all__ = ["ExternalBNL"]
+
 
 class ExternalBNL(SkylineAlgorithm):
     """Block-nested-loops with a page-budgeted window and overflow files.

@@ -27,6 +27,8 @@ from repro.errors import InvalidParameterError
 from repro.stats.counters import DominanceCounter
 from repro.structures.bplustree import BPlusTree
 
+__all__ = ["IndexSkyline"]
+
 
 class IndexSkyline(SkylineAlgorithm):
     """Tan et al.'s Index algorithm over per-dimension B+-trees.
@@ -54,8 +56,9 @@ class IndexSkyline(SkylineAlgorithm):
         min_values = shifted[np.arange(n), assignment]
 
         trees = [BPlusTree(order=self.tree_order) for _ in range(d)]
-        for point_id in range(n):
-            trees[assignment[point_id]].insert(float(min_values[point_id]), point_id)
+        min_keys: list[float] = min_values.tolist()
+        for point_id, list_id in enumerate(assignment.tolist()):
+            trees[list_id].insert(min_keys[point_id], point_id)
 
         # Merge the d sorted lists by key with a heap of iterators.
         heap: list[tuple[float, int, int]] = []
@@ -66,8 +69,8 @@ class IndexSkyline(SkylineAlgorithm):
                 break
 
         sums = shifted.sum(axis=1)
-        max_coords = shifted.max(axis=1)
-        stop_value = np.inf
+        max_coords: list[float] = shifted.max(axis=1).tolist()
+        stop_value = float("inf")
         skyline: list[int] = []
         sky_block = values[:0]
 
@@ -88,5 +91,5 @@ class IndexSkyline(SkylineAlgorithm):
                     skyline.append(point_id)
                     sky_block = values[np.asarray(skyline, dtype=np.intp)]
                     if max_coords[point_id] < stop_value:
-                        stop_value = float(max_coords[point_id])
+                        stop_value = max_coords[point_id]
         return skyline

@@ -22,6 +22,8 @@ from repro.dominance import first_dominator
 from repro.errors import InvalidParameterError
 from repro.stats.counters import DominanceCounter
 
+__all__ = ["LESS"]
+
 
 class LESS(SortScanAlgorithm):
     """SFS with an elimination-filter window in the sort phase.

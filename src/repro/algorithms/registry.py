@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+from repro.algorithms.base import SkylineAlgorithm
 from repro.algorithms.bbs import BBS
 from repro.algorithms.bnl import BNL
 from repro.algorithms.bruteforce import BruteForce
@@ -31,7 +32,9 @@ from repro.algorithms.zsearch import ZSearch
 from repro.core.boost import SubsetBoost
 from repro.errors import UnknownAlgorithmError
 
-_PLAIN: dict[str, Callable[..., object]] = {
+__all__ = ["available_algorithms", "get_algorithm"]
+
+_PLAIN: dict[str, Callable[..., SkylineAlgorithm]] = {
     "bruteforce": BruteForce,
     "bnl": BNL,
     "external-bnl": ExternalBNL,
@@ -57,7 +60,9 @@ def available_algorithms() -> list[str]:
     return [*_PLAIN, *(f"{host}-subset" for host in _BOOSTABLE)]
 
 
-def get_algorithm(name: str, sigma: int | None = None, **kwargs):
+def get_algorithm(
+    name: str, sigma: int | None = None, **kwargs: object
+) -> SkylineAlgorithm | SubsetBoost:
     """Instantiate an algorithm by registry name.
 
     Parameters

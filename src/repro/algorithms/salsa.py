@@ -23,6 +23,8 @@ from repro.dataset import Dataset
 from repro.dominance import first_dominator
 from repro.stats.counters import DominanceCounter
 
+__all__ = ["SaLSa"]
+
 
 class SaLSa(SortScanAlgorithm):
     """Sort-and-limit scan with the min-coordinate sort and a stop point."""
@@ -48,9 +50,9 @@ class SaLSa(SortScanAlgorithm):
         # common per-dimension frame: use the same min-corner shift as the
         # sort keys, so the scan order and the stop metric agree.
         shifted = values - values.min(axis=0)
-        min_coords = shifted.min(axis=1)
-        max_coords = shifted.max(axis=1)
-        stop_value = np.inf
+        min_coords: list[float] = shifted.min(axis=1).tolist()
+        max_coords: list[float] = shifted.max(axis=1).tolist()
+        stop_value = float("inf")
         skyline: list[int] = []
         for point_id in order:
             point_id = int(point_id)
@@ -65,5 +67,5 @@ class SaLSa(SortScanAlgorithm):
                 skyline.append(point_id)
                 container.add(point_id, mask)
                 if max_coords[point_id] < stop_value:
-                    stop_value = float(max_coords[point_id])
+                    stop_value = max_coords[point_id]
         return skyline

@@ -35,6 +35,8 @@ from repro.dataset import Dataset
 from repro.dominance import first_dominator
 from repro.stats.counters import DominanceCounter
 
+__all__ = ["SDI"]
+
 _UNKNOWN, _SKYLINE, _DOMINATED = 0, 1, 2
 
 

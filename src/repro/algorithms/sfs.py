@@ -17,6 +17,8 @@ import numpy as np
 from repro.algorithms.base import SortScanAlgorithm, monotone_order
 from repro.algorithms.sortkeys import sort_keys, sum_tiebreak
 
+__all__ = ["SFS"]
+
 
 class SFS(SortScanAlgorithm):
     """Sort-Filter-Skyline with a configurable monotone sort function.

@@ -18,6 +18,8 @@ import numpy as np
 
 from repro.errors import InvalidParameterError
 
+__all__ = ["sort_keys", "sum_tiebreak"]
+
 SORT_FUNCTIONS = ("entropy", "sum", "euclidean", "minc")
 
 

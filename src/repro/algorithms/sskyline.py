@@ -22,6 +22,8 @@ from repro.algorithms.base import SkylineAlgorithm
 from repro.dataset import Dataset
 from repro.stats.counters import DominanceCounter
 
+__all__ = ["SSkyline"]
+
 
 class SSkyline(SkylineAlgorithm):
     """In-place two-pointer skyline without presorting."""

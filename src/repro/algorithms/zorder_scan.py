@@ -19,6 +19,8 @@ from repro.algorithms.sortkeys import sum_tiebreak
 from repro.errors import InvalidParameterError
 from repro.structures.zorder import grid_coordinates, z_addresses
 
+__all__ = ["ZOrderScan"]
+
 
 class ZOrderScan(SortScanAlgorithm):
     """Presorted scan in Morton-address order.

@@ -28,6 +28,8 @@ from repro.errors import InvalidParameterError
 from repro.stats.counters import DominanceCounter
 from repro.structures.zorder import grid_coordinates, z_addresses
 
+__all__ = ["ZSearch"]
+
 
 class ZSearch(SkylineAlgorithm):
     """Blocked Z-order scan with corner-based region pruning.

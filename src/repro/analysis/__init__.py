@@ -1,0 +1,54 @@
+"""Invariant-aware static analysis and correctness gate for the skyline stack.
+
+Two layers, one exit code:
+
+- **Static lint** (:mod:`repro.analysis.lint` / :mod:`repro.analysis.rules`)
+  — repo-specific AST rules RPR001–RPR004 enforcing the conventions the
+  reproduction's *numbers* depend on: counted dominance tests, centralized
+  bitmask manipulation, registry hygiene, loop-hoisted scalar conversions.
+- **Runtime contracts** (:mod:`repro.analysis.contracts` /
+  :mod:`repro.analysis.differential`) — seeded end-to-end verification of
+  Lemma 5.1 and Algorithm 1, plus differential testing of every registered
+  algorithm against an independent brute-force oracle.
+
+Run the whole gate with ``python -m repro.analysis --strict src/repro``;
+see ``docs/ANALYSIS.md`` for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.contracts import (
+    CheckedSubsetContainer,
+    ContractViolation,
+    run_contract_checks,
+    verify_index_superset_filter,
+    verify_merge_masks,
+)
+from repro.analysis.differential import (
+    Divergence,
+    differential_findings,
+    minimize_counterexample,
+    oracle_skyline,
+    run_differential,
+)
+from repro.analysis.lint import lint_paths
+from repro.analysis.report import Finding, Severity
+from repro.analysis.rules import ALL_RULES, rule_codes
+
+__all__ = [
+    "ALL_RULES",
+    "CheckedSubsetContainer",
+    "ContractViolation",
+    "Divergence",
+    "Finding",
+    "Severity",
+    "differential_findings",
+    "lint_paths",
+    "minimize_counterexample",
+    "oracle_skyline",
+    "rule_codes",
+    "run_contract_checks",
+    "run_differential",
+    "verify_index_superset_filter",
+    "verify_merge_masks",
+]

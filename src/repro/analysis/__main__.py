@@ -1,0 +1,133 @@
+"""``python -m repro.analysis`` — the one-command correctness gate.
+
+Exit codes: 0 = gate passes, 1 = findings, 2 = usage error.
+
+Examples
+--------
+Lint the library (errors fail, warnings reported)::
+
+    python -m repro.analysis src/repro
+
+The full strict gate (lint + runtime contracts + differential testing;
+warnings fail too) — what CI runs::
+
+    python -m repro.analysis --strict src/repro
+
+Only the bitmask rule, as JSON::
+
+    python -m repro.analysis --select RPR002 --format json src/repro
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.contracts import run_contract_checks
+from repro.analysis.differential import differential_findings
+from repro.analysis.lint import lint_paths
+from repro.analysis.report import (
+    Finding,
+    gate_exit_code,
+    render_json,
+    render_text,
+    summarize,
+)
+from repro.analysis.rules import ALL_RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Invariant-aware static analysis + correctness gate "
+        "for the subset-skyline reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings too, and run the runtime contract checks "
+        "and the differential harness in addition to lint",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--contracts",
+        action="store_true",
+        help="also run the runtime contract checks (Lemma 5.1, Algorithm 1)",
+    )
+    parser.add_argument(
+        "--differential",
+        action="store_true",
+        help="also cross-validate every registered algorithm against the "
+        "brute-force oracle",
+    )
+    parser.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip the static lint layer (contracts/differential only)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in sorted(ALL_RULES, key=lambda r: r.code):
+        lines.append(f"{rule.code} [{rule.severity}] {rule.name}")
+        lines.append(f"    {rule.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    findings: list[Finding] = []
+
+    if not args.no_lint:
+        try:
+            findings += lint_paths(args.paths, select=select, root=Path.cwd())
+        except (FileNotFoundError, ValueError) as exc:
+            parser.error(str(exc))  # exits 2
+
+    if args.contracts or args.strict:
+        findings += run_contract_checks()
+    if args.differential or args.strict:
+        findings += differential_findings()
+
+    if findings:
+        renderer = render_json if args.format == "json" else render_text
+        print(renderer(findings))
+    if args.format == "text":
+        print(f"repro.analysis: {summarize(findings)}", file=sys.stderr)
+    return gate_exit_code(findings, strict=args.strict)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,131 @@
+"""The AST lint engine: file discovery, parsing, rule dispatch, ``noqa``.
+
+The engine is deliberately tiny — it parses each Python file once with
+:mod:`ast`, hands the module to every selected rule from
+:mod:`repro.analysis.rules`, and filters the resulting findings through
+line-level ``# noqa: RPRxxx`` suppressions.  Suppressions must name the
+rule code (a bare ``# noqa`` is ignored: silent blanket suppression is
+exactly the kind of hole this gate exists to close).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.report import Finding, Severity
+
+#: ``# noqa: RPR001`` or ``# noqa: RPR001, RPR002`` (case-insensitive tag).
+_NOQA_RE = re.compile(r"#\s*noqa\s*:\s*(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)", re.IGNORECASE)
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist"}
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed source file, as seen by the rules."""
+
+    path: Path
+    display_path: str
+    tree: ast.Module
+    lines: tuple[str, ...]
+
+    def line(self, lineno: int) -> str:
+        """The 1-based source line, stripped ('' when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+def iter_python_files(paths: Sequence[Path | str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths``, skipping cache dirs."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in sorted(path.rglob("*.py")):
+            if not any(part in _SKIP_DIRS for part in candidate.parts):
+                yield candidate
+
+
+def parse_module(path: Path, root: Path | None = None) -> ModuleInfo | Finding:
+    """Parse ``path`` into a :class:`ModuleInfo`, or an RPR000 finding.
+
+    RPR000 (syntax error) is not suppressible: an unparseable file can hide
+    any number of violations.
+    """
+    display = _display_path(path, root)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding(
+            rule="RPR000",
+            path=display,
+            line=exc.lineno or 0,
+            message=f"syntax error: {exc.msg}",
+            severity=Severity.ERROR,
+        )
+    return ModuleInfo(
+        path=path,
+        display_path=display,
+        tree=tree,
+        lines=tuple(source.splitlines()),
+    )
+
+
+def suppressed_codes(line: str) -> frozenset[str]:
+    """Rule codes suppressed by a ``# noqa: ...`` comment on ``line``."""
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return frozenset()
+    return frozenset(code.strip().upper() for code in match.group("codes").split(","))
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    select: Iterable[str] | None = None,
+    root: Path | None = None,
+) -> list[Finding]:
+    """Run the selected rules over every Python file under ``paths``.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to analyze.
+    select:
+        Rule codes to run (default: all registered rules).
+    root:
+        Base directory findings are reported relative to (default: cwd).
+    """
+    # Imported here so rules can import engine types without a cycle.
+    from repro.analysis.rules import active_rules
+
+    rules = active_rules(select)
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        parsed = parse_module(path, root)
+        if isinstance(parsed, Finding):
+            findings.append(parsed)
+            continue
+        for rule in rules:
+            for finding in rule.check(parsed):
+                if rule.code in suppressed_codes(parsed.line(finding.line)):
+                    continue
+                findings.append(finding)
+    return findings
+
+
+def _display_path(path: Path, root: Path | None) -> str:
+    base = root if root is not None else Path.cwd()
+    try:
+        return path.resolve().relative_to(base.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()

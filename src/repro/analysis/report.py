@@ -1,0 +1,114 @@
+"""Findings: the analyzer's output model and its renderers.
+
+Every check in :mod:`repro.analysis` — static lint rules, runtime contract
+checks and the differential harness — reports problems as
+:class:`Finding` records so the CLI can render them uniformly
+(``file:line: CODE message`` text, or JSON for tooling) and compute a
+single exit code for the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from enum import Enum
+from typing import Iterable
+
+
+class Severity(str, Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings always fail the gate; ``WARNING`` findings fail it
+    only under ``--strict``.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One problem located in the repository.
+
+    Attributes
+    ----------
+    rule:
+        Rule code (``RPR001``...) or check name (``contract:lemma-5.1``).
+    path:
+        File the finding anchors to (repo-relative when possible).
+    line:
+        1-based line number; 0 when the finding is not line-addressable
+        (e.g. a runtime contract violation).
+    message:
+        Human-readable description of the problem.
+    severity:
+        :class:`Severity` of the finding.
+    snippet:
+        The offending source line, stripped, when available.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    severity: Severity = Severity.ERROR
+    snippet: str = field(default="", compare=False)
+
+    def render(self) -> str:
+        """``file:line: severity CODE message`` (line omitted when 0)."""
+        location = f"{self.path}:{self.line}" if self.line else self.path
+        text = f"{location}: {self.severity} {self.rule} {self.message}"
+        if self.snippet:
+            text += f"\n    {self.snippet}"
+        return text
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """Render findings as line-oriented text, sorted by location."""
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    return "\n".join(finding.render() for finding in ordered)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """Render findings as a JSON array (stable key order)."""
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    payload = []
+    for finding in ordered:
+        record = asdict(finding)
+        record["severity"] = str(finding.severity)
+        payload.append(record)
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def summarize(findings: Iterable[Finding]) -> str:
+    """One-line tally: ``3 errors, 1 warning`` (or ``clean``)."""
+    errors = warnings = 0
+    for finding in findings:
+        if finding.severity is Severity.ERROR:
+            errors += 1
+        else:
+            warnings += 1
+    if not errors and not warnings:
+        return "clean"
+    parts = []
+    if errors:
+        parts.append(f"{errors} error{'s' if errors != 1 else ''}")
+    if warnings:
+        parts.append(f"{warnings} warning{'s' if warnings != 1 else ''}")
+    return ", ".join(parts)
+
+
+def gate_exit_code(findings: Iterable[Finding], strict: bool = False) -> int:
+    """0 when the gate passes, 1 when it fails.
+
+    Non-strict mode fails on errors only; strict mode fails on anything.
+    """
+    worst_fails = False
+    for finding in findings:
+        if strict or finding.severity is Severity.ERROR:
+            worst_fails = True
+            break
+    return 1 if worst_fails else 0

@@ -1,0 +1,325 @@
+"""Repo-specific lint rules (RPR001–RPR004).
+
+Each rule encodes one of the conventions the subset-skyline reproduction
+depends on for *correctness of its reported numbers*, not just style:
+
+- **RPR001** — every dominance-kernel call must thread a
+  ``DominanceCounter``, or EXPERIMENTS.md's mean-DT numbers silently
+  undercount.
+- **RPR002** — subspace bitmasks may only be manipulated through
+  :mod:`repro.structures.bitset` / :mod:`repro.core.subspace`; ad-hoc
+  bit surgery is how Lemma 4.2/4.3/5.1 soundness quietly breaks.
+- **RPR003** — every module in ``algorithms/`` defines exactly one
+  algorithm and exports ``__all__``, keeping the registry auditable.
+- **RPR004** — no per-element ``float(arr[i])`` conversions inside
+  per-point loops; convert once outside the loop (``.tolist()``).
+
+Rules are pure functions of a parsed module; suppression is line-level
+``# noqa: RPRxxx`` (see :mod:`repro.analysis.lint`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.lint import ModuleInfo
+from repro.analysis.report import Finding, Severity
+
+_MASKY_NAME = re.compile(r"mask|subspace", re.IGNORECASE)
+
+#: Dominance-kernel functions and the positional index of their counter.
+_COUNTED_KERNELS: dict[str, int] = {
+    "dominates": 2,
+    "weakly_dominates": 2,
+    "incomparable": 2,
+    "dominating_subspace": 2,
+    "dominating_subspaces": 2,
+    "first_dominator": 2,
+    "maximum_dominating_subspace": 2,
+}
+
+_BITWISE_BINOPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.LShift, ast.RShift)
+
+
+class Rule(ABC):
+    """One lint rule: a code, a severity and an AST check."""
+
+    code: str
+    name: str
+    severity: Severity
+    description: str
+    #: Posix path suffixes exempt from this rule (the modules that *own*
+    #: the convention the rule enforces elsewhere).
+    allowlist: tuple[str, ...] = ()
+
+    @abstractmethod
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Yield findings for ``module`` (already allowlist-filtered)."""
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        path = module.path.resolve().as_posix()
+        return not any(path.endswith(suffix) for suffix in self.allowlist)
+
+    def finding(self, module: ModuleInfo, line: int, message: str) -> Finding:
+        return Finding(
+            rule=self.code,
+            path=module.display_path,
+            line=line,
+            message=message,
+            severity=self.severity,
+            snippet=module.line(line),
+        )
+
+
+def _called_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class UncountedDominance(Rule):
+    """RPR001: dominance-kernel calls must thread a ``counter``."""
+
+    code = "RPR001"
+    name = "uncounted-dominance"
+    severity = Severity.ERROR
+    description = (
+        "call to a dominance kernel without a DominanceCounter argument; "
+        "pass `counter` (or a scratch counter) so mean-DT accounting stays exact"
+    )
+    allowlist = ("repro/dominance.py",)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not self.applies_to(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            called = _called_name(node.func)
+            if called not in _COUNTED_KERNELS:
+                continue
+            counter_index = _COUNTED_KERNELS[called]
+            if len(node.args) > counter_index:
+                continue
+            if any(kw.arg == "counter" for kw in node.keywords):
+                continue
+            yield self.finding(
+                module,
+                node.lineno,
+                f"`{called}` called without a counter — dominance tests "
+                "performed here are invisible to the DT metric",
+            )
+
+
+def _smells_like_mask(expr: ast.expr) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and _MASKY_NAME.search(node.id):
+            return True
+        if isinstance(node, ast.Attribute) and _MASKY_NAME.search(node.attr):
+            return True
+    return False
+
+
+class RawBitmaskSurgery(Rule):
+    """RPR002: bitwise ops on subspace masks outside the bitset modules."""
+
+    code = "RPR002"
+    name = "raw-bitmask-surgery"
+    severity = Severity.ERROR
+    description = (
+        "bitwise operator applied to a subspace mask outside "
+        "repro.structures.bitset / repro.core.subspace; use the bitset "
+        "helpers so subset/superset semantics stay in one audited place"
+    )
+    allowlist = ("repro/structures/bitset.py", "repro/core/subspace.py")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not self.applies_to(module):
+            return
+        reported: set[int] = set()
+        for node in ast.walk(module.tree):
+            operands: list[ast.expr]
+            if isinstance(node, ast.BinOp) and isinstance(node.op, _BITWISE_BINOPS):
+                operands = [node.left, node.right]
+                op_name = type(node.op).__name__
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, _BITWISE_BINOPS
+            ):
+                operands = [node.target, node.value]
+                op_name = type(node.op).__name__
+            elif isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Invert):
+                operands = [node.operand]
+                op_name = "Invert"
+            else:
+                continue
+            if node.lineno in reported:
+                continue
+            if any(_smells_like_mask(operand) for operand in operands):
+                reported.add(node.lineno)
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"raw bitwise {op_name} on a subspace mask — route it "
+                    "through repro.structures.bitset",
+                )
+
+
+def _algorithm_classes(tree: ast.Module) -> list[ast.ClassDef]:
+    """Classes declaring a class-level ``name = "<str>"`` attribute."""
+    found = []
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "name"
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+            ):
+                found.append(node)
+                break
+    return found
+
+
+def _exported_names(tree: ast.Module) -> list[str] | None:
+    """The module's ``__all__`` as a list of strings, or None if absent."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+        ):
+            continue
+        if isinstance(value, (ast.List, ast.Tuple)):
+            return [
+                elt.value
+                for elt in value.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            ]
+        return []
+    return None
+
+
+class RegistryHygiene(Rule):
+    """RPR003: algorithm modules export ``__all__`` and one algorithm each."""
+
+    code = "RPR003"
+    name = "registry-hygiene"
+    severity = Severity.ERROR
+    description = (
+        "modules under algorithms/ must export __all__ and define exactly "
+        "one algorithm class (a class with a class-level `name` attribute), "
+        "keeping the registry a complete audit of what can run"
+    )
+    allowlist = (
+        "repro/algorithms/__init__.py",
+        "repro/algorithms/base.py",
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.path.parent.name != "algorithms":
+            return
+        if not self.applies_to(module):
+            return
+        exported = _exported_names(module.tree)
+        if exported is None:
+            yield self.finding(
+                module, 1, "algorithm module does not export __all__"
+            )
+        classes = _algorithm_classes(module.tree)
+        for extra in classes[1:]:
+            yield self.finding(
+                module,
+                extra.lineno,
+                f"module defines {len(classes)} algorithm classes; the "
+                "registry convention is one per module "
+                f"(`{classes[0].name}` already defined)",
+            )
+        if exported is not None:
+            for cls in classes:
+                if cls.name not in exported:
+                    yield self.finding(
+                        module,
+                        cls.lineno,
+                        f"algorithm class `{cls.name}` is missing from __all__",
+                    )
+
+
+class NumpyScalarLeak(Rule):
+    """RPR004: per-element ``float(arr[i])`` conversions inside loops."""
+
+    code = "RPR004"
+    name = "numpy-scalar-leak"
+    severity = Severity.WARNING
+    description = (
+        "float(array[index]) inside a per-point loop boxes one numpy scalar "
+        "per iteration; hoist the conversion (e.g. `.tolist()`) out of the "
+        "hot loop"
+    )
+    allowlist = ()
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not self.applies_to(module):
+            return
+        seen: set[int] = set()
+        for loop in ast.walk(module.tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "float"
+                    and len(node.args) == 1
+                    and isinstance(node.args[0], ast.Subscript)
+                    and node.lineno not in seen
+                ):
+                    seen.add(node.lineno)
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        "float() of a subscript inside a loop — convert the "
+                        "whole array once before the loop",
+                    )
+
+
+ALL_RULES: tuple[Rule, ...] = (
+    UncountedDominance(),
+    RawBitmaskSurgery(),
+    RegistryHygiene(),
+    NumpyScalarLeak(),
+)
+
+
+def rule_codes() -> list[str]:
+    """All registered rule codes, sorted."""
+    return sorted(rule.code for rule in ALL_RULES)
+
+
+def active_rules(select: Iterable[str] | None = None) -> Sequence[Rule]:
+    """The rules to run: all of them, or the ``select``-ed codes."""
+    if select is None:
+        return ALL_RULES
+    wanted = {code.strip().upper() for code in select}
+    unknown = wanted - {rule.code for rule in ALL_RULES}
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s): {sorted(unknown)}; known: {rule_codes()}"
+        )
+    return tuple(rule for rule in ALL_RULES if rule.code in wanted)

@@ -17,7 +17,7 @@ the index starts empty.
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -26,6 +26,9 @@ from repro.core.merge import merge
 from repro.core.stability import default_threshold, validate_threshold
 from repro.dataset import Dataset
 from repro.stats.counters import DominanceCounter
+
+if TYPE_CHECKING:  # import cycle: algorithms.base imports core.container
+    from repro.algorithms.base import SkylineResult
 
 
 @runtime_checkable
@@ -96,7 +99,11 @@ class SubsetBoost:
         self.pivot_strategy = pivot_strategy
         self.name = f"{host.name}-subset"
 
-    def compute(self, data, counter: DominanceCounter | None = None):
+    def compute(
+        self,
+        data: Dataset | np.ndarray,
+        counter: DominanceCounter | None = None,
+    ) -> "SkylineResult":
         """Compute the skyline; same contract as ``SkylineAlgorithm.compute``."""
         # Imported here to keep the core package import-light and acyclic.
         from repro.algorithms.base import run_timed

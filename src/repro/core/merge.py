@@ -32,6 +32,7 @@ from repro.dataset import Dataset, as_dataset
 from repro.dominance import dominating_subspaces
 from repro.errors import InvalidParameterError
 from repro.stats.counters import DominanceCounter
+from repro.structures import bitset
 
 
 @dataclass(frozen=True)
@@ -149,7 +150,7 @@ def merge(
         iterations += 1
         if alive.size:
             subs = dominating_subspaces(values[alive], values[pivot], counter)
-            masks[alive] |= subs
+            masks[alive] = bitset.union(masks[alive], subs)
             pruned = subs == 0
             if pruned.any():
                 pruned_ids = alive[pruned]

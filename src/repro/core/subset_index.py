@@ -104,7 +104,7 @@ class SkylineIndex:
         out.extend(node.points)
         visited = 1
         for dim, child in node.children.items():
-            if reversed_mask >> dim & 1:
+            if bitset.has_dim(reversed_mask, dim):
                 visited += self._collect(child, reversed_mask, out)
         return visited
 
@@ -170,14 +170,14 @@ class SkylineIndex:
     def subspaces(self) -> dict[int, list[int]]:
         """Mapping of stored subspace mask → point ids (diagnostics/tests)."""
         result: dict[int, list[int]] = {}
-        full = bitset.universe(self._d)
         stack: list[tuple[_Node, int]] = [(self._root, 0)]
         while stack:
             node, path_mask = stack.pop()
             if node.points:
-                result.setdefault(full & ~path_mask, []).extend(node.points)
+                subspace = bitset.complement(path_mask, self._d)
+                result.setdefault(subspace, []).extend(node.points)
             for dim, child in node.children.items():
-                stack.append((child, path_mask | (1 << dim)))
+                stack.append((child, bitset.with_dim(path_mask, dim)))
         return result
 
     def clear(self) -> None:

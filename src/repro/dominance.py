@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.stats.counters import DominanceCounter
+from repro.structures import bitset
 
 __all__ = [
     "dominates",
@@ -73,10 +74,7 @@ def dominating_subspace(
     if counter is not None:
         counter.add()
     strict = np.asarray(q) < np.asarray(p)
-    mask = 0
-    for dim in np.nonzero(strict)[0]:
-        mask |= 1 << int(dim)
-    return mask
+    return bitset.from_dims(int(dim) for dim in np.nonzero(strict)[0])
 
 
 def dominating_subspaces(

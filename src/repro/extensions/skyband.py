@@ -27,6 +27,7 @@ from repro.dataset import Dataset, as_dataset
 from repro.dominance import dominance_mask, dominating_subspaces
 from repro.errors import InvalidParameterError
 from repro.stats.counters import DominanceCounter
+from repro.structures import bitset
 
 
 def _count_dominators_capped(
@@ -87,7 +88,7 @@ def skyband(
         point_id = int(point_id)
         q_mask = int(masks[point_id])
         # Candidate dominators: skyband members whose mask ⊇ q's mask.
-        candidate = (q_mask & ~member_masks) == 0
+        candidate = bitset.subset_of_many(q_mask, member_masks)
         block = values[np.asarray(member_ids, dtype=np.intp)[candidate]]
         dominators = _count_dominators_capped(block, values[point_id], k, counter)
         if dominators < k:

@@ -33,6 +33,7 @@ from repro.core.subset_index import SkylineIndex
 from repro.dominance import first_dominator
 from repro.errors import DimensionMismatchError, InvalidParameterError
 from repro.stats.counters import DominanceCounter
+from repro.structures import bitset
 
 
 class StreamingSkyline:
@@ -187,10 +188,7 @@ class StreamingSkyline:
         anchors = np.stack(self._anchor_rows)
         self._counter.add(anchors.shape[0])
         strict = row[None, :] < anchors
-        mask = 0
-        for dim in np.nonzero(strict.any(axis=0))[0]:
-            mask |= 1 << int(dim)
-        return mask
+        return bitset.from_dims(int(dim) for dim in np.nonzero(strict.any(axis=0))[0])
 
     def _gather(self, ids: Iterable[int]) -> np.ndarray:
         ids = list(ids)

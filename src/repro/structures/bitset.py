@@ -14,8 +14,15 @@ the subset index (Section 5 of the paper) directly.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING, TypeVar
+
+if TYPE_CHECKING:  # numpy is only needed for the vectorised annotations
+    import numpy as np
+    import numpy.typing as npt
 
 EMPTY: int = 0
+
+_MaskOrArray = TypeVar("_MaskOrArray", int, "npt.NDArray[np.int64]")
 
 
 def from_dims(dims: Iterable[int]) -> int:
@@ -86,3 +93,45 @@ def universe(d: int) -> int:
     if d < 0:
         raise ValueError(f"dimensionality must be non-negative, got {d}")
     return (1 << d) - 1
+
+
+def has_dim(mask: int, dim: int) -> bool:
+    """True when dimension ``dim`` belongs to the subspace ``mask``.
+
+    >>> has_dim(0b101, 2)
+    True
+    >>> has_dim(0b101, 1)
+    False
+    """
+    return bool(mask >> dim & 1)
+
+
+def with_dim(mask: int, dim: int) -> int:
+    """The subspace ``mask ∪ {dim}``.
+
+    >>> with_dim(0b001, 2)
+    5
+    """
+    return mask | (1 << dim)
+
+
+def union(a: _MaskOrArray, b: _MaskOrArray) -> _MaskOrArray:
+    """The union of two subspaces, ``a ∪ b``.
+
+    Accepts plain ints or (elementwise) numpy integer arrays of masks —
+    the Merge phase unions a whole block of per-pivot subspaces at once.
+
+    >>> union(0b001, 0b100)
+    5
+    """
+    return a | b
+
+
+def subset_of_many(a: int, masks: npt.NDArray[np.int64]) -> npt.NDArray[np.bool_]:
+    """Elementwise ``a ⊆ masks[k]`` over a numpy array of subspace masks.
+
+    The vectorised form of :func:`is_subset` used by candidate filters:
+    the returned boolean array marks the stored masks that are supersets
+    of ``a`` — by Lemma 4.3 the only possible dominators.
+    """
+    return (a & ~masks) == 0

@@ -68,9 +68,9 @@ def z_addresses(grid: np.ndarray, bits: int = 16) -> list[int]:
     for dim in range(d):
         column = grid[:, dim]
         for bit_pos in range(bits):
-            bit_mask = 1 << bit_pos
+            plane_bit = 1 << bit_pos
             target = 1 << (bit_pos * d + dim)
-            hits = np.nonzero(column & bit_mask)[0]
+            hits = np.nonzero(column & plane_bit)[0]
             for row in hits:
                 addresses[row] |= target
     return addresses

@@ -1,0 +1,74 @@
+"""``python -m repro.analysis`` exit codes and output formats."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+
+CLEAN = "x = 1\n"
+VIOLATING = textwrap.dedent(
+    """
+    from repro.dominance import dominates
+
+    def f(p, q):
+        return dominates(p, q)
+    """
+)
+WARNING_ONLY = textwrap.dedent(
+    """
+    def f(order, coords):
+        for i in order:
+            x = float(coords[i])
+        return x
+    """
+)
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN)
+        assert main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().err
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(VIOLATING)
+        assert main([str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "RPR001" in captured.out
+        assert "1 error" in captured.err
+
+    def test_warnings_pass_unless_strict(self, tmp_path):
+        (tmp_path / "warn.py").write_text(WARNING_ONLY)
+        assert main([str(tmp_path)]) == 0
+
+    def test_unknown_select_is_usage_error(self, tmp_path):
+        (tmp_path / "ok.py").write_text(CLEAN)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--select", "RPR999", str(tmp_path)])
+        assert excinfo.value.code == 2
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(tmp_path / "nope")])
+        assert excinfo.value.code == 2
+
+
+class TestOutput:
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RPR001", "RPR002", "RPR003", "RPR004"):
+            assert code in out
+
+    def test_json_format_parses(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(VIOLATING)
+        assert main(["--format", "json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["rule"] == "RPR001"
+
+    def test_select_narrows_the_gate(self, tmp_path):
+        (tmp_path / "bad.py").write_text(VIOLATING)
+        assert main(["--select", "RPR002", str(tmp_path)]) == 0

@@ -1,0 +1,70 @@
+"""Findings model: rendering, summaries and gate exit codes."""
+
+import json
+
+from repro.analysis.report import (
+    Finding,
+    Severity,
+    gate_exit_code,
+    render_json,
+    render_text,
+    summarize,
+)
+
+
+def _finding(rule="RPR001", line=3, severity=Severity.ERROR):
+    return Finding(
+        rule=rule,
+        path="src/repro/foo.py",
+        line=line,
+        message="something is wrong",
+        severity=severity,
+        snippet="x = 1",
+    )
+
+
+class TestRendering:
+    def test_render_includes_location_and_code(self):
+        text = _finding().render()
+        assert "src/repro/foo.py:3" in text
+        assert "RPR001" in text
+        assert "x = 1" in text
+
+    def test_line_zero_omits_lineno(self):
+        text = _finding(line=0).render()
+        assert text.startswith("src/repro/foo.py: ")
+
+    def test_render_text_sorts_by_location(self):
+        out = render_text([_finding(line=9), _finding(line=2)])
+        assert out.index(":2") < out.index(":9")
+
+    def test_render_json_round_trips(self):
+        payload = json.loads(render_json([_finding()]))
+        assert payload[0]["rule"] == "RPR001"
+        assert payload[0]["severity"] == "error"
+        assert payload[0]["line"] == 3
+
+
+class TestSummaryAndGate:
+    def test_summarize_clean(self):
+        assert summarize([]) == "clean"
+
+    def test_summarize_counts(self):
+        findings = [
+            _finding(),
+            _finding(line=4),
+            _finding(line=5, severity=Severity.WARNING),
+        ]
+        assert summarize(findings) == "2 errors, 1 warning"
+
+    def test_gate_passes_on_clean(self):
+        assert gate_exit_code([]) == 0
+        assert gate_exit_code([], strict=True) == 0
+
+    def test_gate_fails_on_error(self):
+        assert gate_exit_code([_finding()]) == 1
+
+    def test_warnings_fail_only_in_strict(self):
+        warnings = [_finding(severity=Severity.WARNING)]
+        assert gate_exit_code(warnings) == 0
+        assert gate_exit_code(warnings, strict=True) == 1

@@ -1,0 +1,15 @@
+"""The repo must pass its own gate: ``repro.analysis src/repro`` is clean."""
+
+from pathlib import Path
+
+from repro.analysis.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_library_lints_clean():
+    findings = lint_paths([REPO_ROOT / "src" / "repro"], root=REPO_ROOT)
+    errors = [f for f in findings if f.severity.value == "error"]
+    warnings = [f for f in findings if f.severity.value == "warning"]
+    assert errors == [], "\n".join(f.render() for f in errors)
+    assert warnings == [], "\n".join(f.render() for f in warnings)

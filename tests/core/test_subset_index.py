@@ -116,6 +116,44 @@ class TestPutQuery:
         assert idx.node_count() == 4
 
 
+class TestEdgeCases:
+    def test_query_on_empty_index(self):
+        idx = SkylineIndex(4)
+        assert idx.query(0b0000) == []
+        assert idx.query(0b1010) == []
+        assert idx.query(0b1111) == []
+
+    def test_empty_subspace_mask(self):
+        """Mask 0 (no dominating dimensions) sits at the deepest path and
+        is returned only for the empty query (every mask ⊇ ∅)."""
+        idx = SkylineIndex(3)
+        idx.put(0, 0b000)
+        idx.put(1, 0b101)
+        assert sorted(idx.query(0b000)) == [0, 1]
+        assert idx.query(0b101) == [1]
+        assert idx.query(0b111) == []
+
+    def test_full_dimension_mask_matches_every_query(self):
+        """Mask 2^d - 1 reverses to ∅, lives at the root, supersets all."""
+        d = 4
+        full = (1 << d) - 1
+        idx = SkylineIndex(d)
+        idx.put(0, full)
+        for query in range(1 << d):
+            assert idx.query(query) == [0]
+
+    def test_duplicate_put_same_reversed_subspace_reuses_path(self):
+        """A second put on an existing reversed-subspace chain adds no
+        nodes; both entries are stored and queryable."""
+        idx = SkylineIndex(4)
+        idx.put(1, 0b0011)
+        nodes_before = idx.node_count()
+        idx.put(2, 0b0011)
+        assert idx.node_count() == nodes_before
+        assert len(idx) == 2
+        assert sorted(idx.query(0b0011)) == [1, 2]
+
+
 class TestOccupancy:
     def test_empty_index(self):
         stats = SkylineIndex(4).occupancy()
@@ -204,6 +242,71 @@ def test_query_matches_brute_force(masks, query):
         idx.put(pid, mask)
         stored[pid] = mask
     assert set(idx.query(query)) == brute_query(stored, query)
+
+
+_point = st.lists(st.integers(0, 4), min_size=3, max_size=3).map(tuple)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    pivots=st.lists(_point, min_size=1, max_size=5),
+    q1=_point,
+    q2=_point,
+)
+def test_lemma_4_2_incomparable_masks_imply_no_dominance(pivots, q1, q2):
+    """Lemma 4.2: non-nesting maximum dominating subspaces ⇒ incomparable."""
+    import numpy as np
+
+    from repro.core.subspace import implies_incomparable, maximum_dominating_subspace
+    from repro.dominance import dominates
+
+    pivot_rows = [np.array(p, dtype=float) for p in pivots]
+    a, b = np.array(q1, dtype=float), np.array(q2, dtype=float)
+    mask_a = maximum_dominating_subspace(a, pivot_rows)
+    mask_b = maximum_dominating_subspace(b, pivot_rows)
+    if implies_incomparable(mask_a, mask_b):
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    pivots=st.lists(_point, min_size=1, max_size=5),
+    q1=_point,
+    q2=_point,
+)
+def test_lemma_4_3_dominance_implies_may_dominate(pivots, q1, q2):
+    """Lemma 4.3: p < q forces D_{p<S} ⊇ D_{q<S}, i.e. may_dominate."""
+    import numpy as np
+
+    from repro.core.subspace import maximum_dominating_subspace, may_dominate
+    from repro.dominance import dominates
+
+    pivot_rows = [np.array(p, dtype=float) for p in pivots]
+    a, b = np.array(q1, dtype=float), np.array(q2, dtype=float)
+    if dominates(a, b):
+        mask_a = maximum_dominating_subspace(a, pivot_rows)
+        mask_b = maximum_dominating_subspace(b, pivot_rows)
+        assert may_dominate(mask_a, mask_b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    masks=st.lists(st.integers(0, (1 << 5) - 1), max_size=20),
+    query=st.integers(0, (1 << 5) - 1),
+)
+def test_query_equals_may_dominate_filter(masks, query):
+    """Lemma 5.1 bridge: the index returns exactly the stored points whose
+    subspace passes :func:`may_dominate` against the testing point's."""
+    from repro.core.subspace import may_dominate
+
+    idx = SkylineIndex(5)
+    stored = {}
+    for pid, mask in enumerate(masks):
+        idx.put(pid, mask)
+        stored[pid] = mask
+    expected = {pid for pid, mask in stored.items() if may_dominate(mask, query)}
+    assert set(idx.query(query)) == expected
 
 
 @settings(max_examples=40, deadline=None)
