@@ -1,0 +1,157 @@
+"""Scan-phase throughput: batched subset-boosted scans vs the scalar path.
+
+Isolates the *scan phase* of the boosted pipeline — Merge (Algorithm 1)
+runs once, outside the timed region, then each host's ``run_phase`` is
+timed repeatedly with a fresh container per repeat:
+
+- **scalar**: unmemoized index queries, per-point candidate gather (and,
+  for SDI, the per-point filter + stable sort) — the pre-batching
+  reference path, kept behind ``SDI(batched=False)`` /
+  ``SubsetContainer(memoize=False)``;
+- **batched**: memoized queries, cached contiguous candidate blocks and
+  SDI's incrementally maintained sorted views.
+
+Both paths must produce the identical skyline and charge the identical
+dominance-test count — the script exits non-zero otherwise, so it doubles
+as an equivalence gate.  Results land in ``BENCH_throughput.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py            # paper-scale
+    PYTHONPATH=src python benchmarks/bench_throughput.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms.salsa import SaLSa
+from repro.algorithms.sdi import SDI
+from repro.algorithms.sfs import SFS
+from repro.core.container import SubsetContainer
+from repro.core.merge import merge
+from repro.core.stability import default_threshold
+from repro.data import generate
+from repro.stats.counters import DominanceCounter
+
+#: host name -> (scalar factory, batched factory)
+HOSTS = {
+    "sdi": (lambda: SDI(batched=False), lambda: SDI(batched=True)),
+    "sfs": (SFS, SFS),
+    "salsa": (SaLSa, SaLSa),
+}
+
+
+def time_scan_phase(dataset, merged, host_factory, memoize, repeats):
+    """Best-of-``repeats`` wall clock of one host's scan phase."""
+    d = dataset.dimensionality
+    masks = np.zeros(dataset.cardinality, dtype=np.int64)
+    masks[merged.remaining_ids] = merged.masks
+    best = float("inf")
+    skyline: list[int] = []
+    counter = DominanceCounter()
+    for _ in range(repeats):
+        counter = DominanceCounter()
+        container = SubsetContainer(dataset.values, d, counter, memoize=memoize)
+        host = host_factory()
+        start = time.perf_counter()
+        skyline = host.run_phase(
+            dataset, merged.remaining_ids, masks, container, counter
+        )
+        best = min(best, time.perf_counter() - start)
+    return skyline, counter, best
+
+
+def run(kind, n, d, seed, repeats):
+    dataset = generate(kind, n=n, d=d, seed=seed)
+    sigma = default_threshold(d)
+    counter = DominanceCounter()
+    merged = merge(dataset, sigma, counter)
+    report = {
+        "config": {
+            "kind": kind,
+            "n": n,
+            "d": d,
+            "seed": seed,
+            "sigma": sigma,
+            "repeats": repeats,
+            "merge_pivots": len(merged.pivot_ids),
+            "remaining_points": int(merged.remaining_ids.size),
+        },
+        "hosts": {},
+    }
+    ok = True
+    for name, (scalar_factory, batched_factory) in HOSTS.items():
+        scalar_sky, scalar_counter, scalar_s = time_scan_phase(
+            dataset, merged, scalar_factory, memoize=False, repeats=repeats
+        )
+        batched_sky, batched_counter, batched_s = time_scan_phase(
+            dataset, merged, batched_factory, memoize=True, repeats=repeats
+        )
+        identical = (
+            scalar_sky == batched_sky
+            and scalar_counter.tests == batched_counter.tests
+        )
+        ok = ok and identical
+        entry = {
+            "scalar_s": round(scalar_s, 6),
+            "batched_s": round(batched_s, 6),
+            "speedup": round(scalar_s / batched_s, 3) if batched_s else None,
+            "skyline_size": len(batched_sky),
+            "dominance_tests": batched_counter.tests,
+            "scalar_dominance_tests": scalar_counter.tests,
+            "index_cache_hits": batched_counter.index_cache_hits,
+            "index_cache_misses": batched_counter.index_cache_misses,
+            "identical": identical,
+        }
+        report["hosts"][name] = entry
+        marker = "" if identical else "  <-- MISMATCH"
+        print(
+            f"{name:>6}: scalar {scalar_s:8.4f}s  batched {batched_s:8.4f}s  "
+            f"speedup {entry['speedup']:>6}x  "
+            f"skyline {entry['skyline_size']}  DT {entry['dominance_tests']}"
+            f"{marker}"
+        )
+    report["identical"] = ok
+    return report, ok
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kind", default="UI", choices=("UI", "CO", "AC"))
+    parser.add_argument("--n", type=int, default=100_000)
+    parser.add_argument("--d", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke configuration (n=4000, d=6, 2 repeats)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_throughput.json"),
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.n, args.d, args.repeats = 4000, 6, 2
+
+    report, ok = run(args.kind, args.n, args.d, args.seed, args.repeats)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if not ok:
+        print("ERROR: batched path diverged from the scalar reference")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -180,13 +180,20 @@ class SortScanAlgorithm(SkylineAlgorithm, _ProgressiveMixin):
         container: SkylineContainer,
         counter: DominanceCounter,
     ) -> list[int]:
-        """Presorted scan over ``ids`` using ``container`` as skyline store."""
+        """Presorted scan over ``ids`` using ``container`` as skyline store.
+
+        The loop body is deliberately thin: the container serves each
+        testing point's candidates as one cached contiguous block (see
+        :class:`~repro.core.container.SkylineContainer`'s stable-prefix
+        contract), and the per-point mask/id conversions are hoisted into
+        single ``tolist`` passes so no numpy scalars are boxed per point.
+        """
         values = dataset.values
         order = self.sort_ids(values, ids)
+        masks_list = masks.tolist()
         skyline: list[int] = []
-        for point_id in order:
-            point_id = int(point_id)
-            mask = int(masks[point_id])
+        for point_id in order.tolist():
+            mask = masks_list[point_id]
             _, block = container.candidates(mask)
             if first_dominator(block, values[point_id], counter) == -1:
                 skyline.append(point_id)

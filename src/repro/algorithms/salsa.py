@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import SortScanAlgorithm, monotone_order
+from repro.algorithms.base import SortScanAlgorithm
 from repro.algorithms.sortkeys import sort_keys, sum_tiebreak
 from repro.core.container import SkylineContainer
 from repro.dataset import Dataset
@@ -32,8 +32,11 @@ class SaLSa(SortScanAlgorithm):
     name = "salsa"
 
     def sort_ids(self, values: np.ndarray, ids: np.ndarray) -> np.ndarray:
-        keys = sort_keys(values, "minc")
-        return monotone_order(keys, sum_tiebreak(values), ids)
+        # Same subset-with-global-corner trick as SFS: identical order to a
+        # whole-dataset sort, key math only over the active rows.
+        subset = values[ids]
+        keys = sort_keys(subset, "minc", corner=values.min(axis=0))
+        return ids[np.lexsort((sum_tiebreak(subset), keys))]
 
     def run_phase(
         self,
@@ -52,16 +55,16 @@ class SaLSa(SortScanAlgorithm):
         shifted = values - values.min(axis=0)
         min_coords: list[float] = shifted.min(axis=1).tolist()
         max_coords: list[float] = shifted.max(axis=1).tolist()
+        masks_list = masks.tolist()
         stop_value = float("inf")
         skyline: list[int] = []
-        for point_id in order:
-            point_id = int(point_id)
+        for point_id in order.tolist():
             if min_coords[point_id] > stop_value:
                 # Every remaining point q has minC(q) > stop_value, hence
                 # q[i] >= minC(q) > max(stop point) >= stop_point[i] in all
                 # dimensions: strictly dominated.  Terminate.
                 break
-            mask = int(masks[point_id])
+            mask = masks_list[point_id]
             _, block = container.candidates(mask)
             if first_dominator(block, values[point_id], counter) == -1:
                 skyline.append(point_id)

@@ -23,6 +23,22 @@ Key properties preserved from the original design:
 
 One dominance test is charged per compared skyline point, exactly as a
 sequential early-exit loop would.
+
+Batched scan
+------------
+The scalar scan pays, per testing point, an ``O(k)`` boolean prefix filter
+plus an ``O(k log k)`` sort over its candidate block.  The batched scan
+(default) instead maintains one *sorted view* per ``(subspace, dimension)``
+pair: candidate blocks are stable-prefix (see
+:class:`~repro.core.container.SkylineContainer`), so each view is repaired
+by merging only the newly confirmed rows (a permutation merge over two 1-D
+arrays), and the per-point test collapses to a binary search, a gather of
+the eligible prefix rows, and one ``first_dominator`` kernel call (the
+sorted-block form is :func:`~repro.dominance.first_dominator_prefix`).
+The tested prefix is element-for-element identical to the scalar
+filter-then-stable-sort path, so skyline output and charged dominance
+tests are bit-identical; ``SDI(batched=False)`` keeps the scalar reference
+path for differential tests and benchmarks.
 """
 
 from __future__ import annotations
@@ -40,10 +56,75 @@ __all__ = ["SDI"]
 _UNKNOWN, _SKYLINE, _DOMINATED = 0, 1, 2
 
 
+class _SortedView:
+    """A candidate block's row order sorted by one dimension (ties: insertion).
+
+    Stores the sorted column plus a *permutation* into the base block —
+    never the rows themselves — so repairing after an append moves two 1-D
+    arrays instead of a ``d``-wide block, and the per-point prefix gather
+    only materialises the few rows the kernel actually tests.
+
+    ``extend`` merges the rows appended to the base block since the last
+    repair; because new rows carry strictly larger insertion sequence
+    numbers than every old row, inserting them after their equal-valued
+    predecessors (``side="right"``) preserves the (value, insertion-order)
+    sort exactly as a stable re-sort of the whole block would.
+    """
+
+    __slots__ = ("n", "col", "perm")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.col = np.empty(0, dtype=np.float64)
+        self.perm = np.empty(0, dtype=np.intp)
+
+    def extend(self, base: np.ndarray, dim: int) -> None:
+        total = base.shape[0]
+        new_col = base[self.n : total, dim]
+        order = np.argsort(new_col, kind="stable")
+        new_col = new_col[order]
+        new_perm = order + self.n
+        k = self.col.shape[0]
+        if k == 0:
+            self.col = new_col.copy()
+            self.perm = new_perm
+        else:
+            m = new_col.shape[0]
+            # Scatter-merge: equivalent to np.insert at the searchsorted
+            # positions but without its per-call overhead.  Positions are
+            # non-decreasing (new_col is sorted), so adding arange keeps
+            # equal-valued new rows in insertion order.
+            target = np.searchsorted(self.col, new_col, side="right")
+            target = target + np.arange(m, dtype=np.intp)
+            col = np.empty(k + m, dtype=np.float64)
+            perm = np.empty(k + m, dtype=np.intp)
+            old = np.ones(k + m, dtype=bool)
+            old[target] = False
+            col[target] = new_col
+            col[old] = self.col
+            perm[target] = new_perm
+            perm[old] = self.perm
+            self.col = col
+            self.perm = perm
+        self.n = total
+
+
 class SDI(SkylineAlgorithm):
-    """Sorted-dimension-index skyline with breadth-first dimension traversal."""
+    """Sorted-dimension-index skyline with breadth-first dimension traversal.
+
+    Parameters
+    ----------
+    batched:
+        Use incrementally maintained per-``(subspace, dimension)`` sorted
+        views for the prefix test (default).  ``False`` re-filters and
+        re-sorts the candidate block per testing point — the scalar
+        reference path with identical output and test accounting.
+    """
 
     name = "sdi"
+
+    def __init__(self, batched: bool = True) -> None:
+        self.batched = batched
 
     def _run(self, dataset: Dataset, counter: DominanceCounter) -> list[int]:
         ids = np.arange(dataset.cardinality, dtype=np.intp)
@@ -78,10 +159,14 @@ class SDI(SkylineAlgorithm):
         stop_point = values[stop_id]
 
         status = np.zeros(dataset.cardinality, dtype=np.int8)
+        masks_list = masks.tolist()
         cursors = [0] * d
         dim_sky_count = [0] * d
         open_dims = set(range(d))
         skyline: list[int] = []
+        views: dict[tuple[int, int], _SortedView] = {}
+        batched = self.batched
+        mask_sensitive = container.uses_masks
 
         while open_dims:
             dim = min(open_dims, key=lambda k: (dim_sky_count[k], k))
@@ -96,17 +181,34 @@ class SDI(SkylineAlgorithm):
             point_id = int(order[cursor])
             cursors[dim] = cursor + 1
             point = values[point_id]
+            mask = masks_list[point_id]
 
-            candidate_ids, block = container.candidates(int(masks[point_id]))
-            if block.shape[0]:
-                prefix = block[:, dim] <= point[dim]
-                block = block[prefix]
+            candidate_ids, block = container.candidates(mask)
+            if batched:
+                view_key = (mask if mask_sensitive else 0, dim)
+                view = views.get(view_key)
+                if view is None:
+                    view = _SortedView()
+                    views[view_key] = view
+                if view.n != block.shape[0]:
+                    view.extend(block, dim)
+                cut = int(np.searchsorted(view.col, point[dim], side="right"))
+                undominated = (
+                    cut == 0
+                    or first_dominator(block[view.perm[:cut]], point, counter)
+                    == -1
+                )
+            else:
                 if block.shape[0]:
-                    block = block[np.argsort(block[:, dim], kind="stable")]
-            if first_dominator(block, point, counter) == -1:
+                    prefix = block[:, dim] <= point[dim]
+                    block = block[prefix]
+                    if block.shape[0]:
+                        block = block[np.argsort(block[:, dim], kind="stable")]
+                undominated = first_dominator(block, point, counter) == -1
+            if undominated:
                 status[point_id] = _SKYLINE
                 skyline.append(point_id)
-                container.add(point_id, int(masks[point_id]))
+                container.add(point_id, mask)
                 dim_sky_count[dim] += 1
             else:
                 status[point_id] = _DOMINATED

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms.base import SortScanAlgorithm, monotone_order
+from repro.algorithms.base import SortScanAlgorithm
 from repro.algorithms.sortkeys import sort_keys, sum_tiebreak
 
 __all__ = ["SFS"]
@@ -37,5 +37,10 @@ class SFS(SortScanAlgorithm):
         sort_keys(np.zeros((1, 1)), sort_function)  # validate eagerly
 
     def sort_ids(self, values: np.ndarray, ids: np.ndarray) -> np.ndarray:
-        keys = sort_keys(values, self.sort_function)
-        return monotone_order(keys, sum_tiebreak(values), ids)
+        # Keys are computed over only the active rows (the merge survivors
+        # in a boosted scan) but shifted by the full dataset's minimum
+        # corner, so the order is identical to a whole-dataset sort while
+        # skipping the transcendental key math for every pruned point.
+        subset = values[ids]
+        keys = sort_keys(subset, self.sort_function, corner=values.min(axis=0))
+        return ids[np.lexsort((sum_tiebreak(subset), keys))]

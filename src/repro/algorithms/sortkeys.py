@@ -23,18 +23,24 @@ __all__ = ["sort_keys", "sum_tiebreak"]
 SORT_FUNCTIONS = ("entropy", "sum", "euclidean", "minc")
 
 
-def sort_keys(values: np.ndarray, function: str) -> np.ndarray:
+def sort_keys(
+    values: np.ndarray, function: str, corner: np.ndarray | None = None
+) -> np.ndarray:
     """Per-point sort keys for one of :data:`SORT_FUNCTIONS`.
 
     ``entropy``, ``sum`` and ``euclidean`` are strictly monotone under
     dominance; ``minc`` (SaLSa's min-coordinate) is weakly monotone and
     relies on the caller's tiebreak.
+
+    ``corner`` overrides the shift origin: a boosted scan phase computes
+    keys over only the merge survivors but must keep the *full* dataset's
+    minimum corner so the order matches a whole-dataset sort exactly.
     """
     if function not in SORT_FUNCTIONS:
         raise InvalidParameterError(
             f"unknown sort function {function!r}; expected one of {SORT_FUNCTIONS}"
         )
-    shifted = values - values.min(axis=0)
+    shifted = values - (values.min(axis=0) if corner is None else corner)
     if function == "entropy":
         return np.log1p(shifted).sum(axis=1)
     if function == "sum":

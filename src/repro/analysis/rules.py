@@ -38,6 +38,7 @@ _COUNTED_KERNELS: dict[str, int] = {
     "dominating_subspace": 2,
     "dominating_subspaces": 2,
     "first_dominator": 2,
+    "first_dominator_prefix": 4,
     "maximum_dominating_subspace": 2,
 }
 

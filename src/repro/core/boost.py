@@ -71,6 +71,12 @@ class SubsetBoost:
     sigma:
         Stability threshold for Merge; defaults to the paper's rounded
         ``d/3`` heuristic at compute time.
+    memoize:
+        Enable the subset index's per-subspace result cache and the
+        container's gathered-block cache (default).  ``False`` is the
+        scalar reference path: identical skyline and dominance-test
+        accounting, used by the differential tests and the throughput
+        benchmark baseline.
 
     >>> from repro.algorithms.sfs import SFS
     >>> from repro.data import generate
@@ -86,6 +92,7 @@ class SubsetBoost:
         sigma: int | None = None,
         container: str = "subset",
         pivot_strategy: str = "euclidean",
+        memoize: bool = True,
     ) -> None:
         if not isinstance(host, BoostableHost):
             raise TypeError(
@@ -97,6 +104,7 @@ class SubsetBoost:
         self.sigma = sigma
         self.container = container
         self.pivot_strategy = pivot_strategy
+        self.memoize = memoize
         self.name = f"{host.name}-subset"
 
     def compute(
@@ -133,7 +141,9 @@ class SubsetBoost:
         masks = np.zeros(dataset.cardinality, dtype=np.int64)
         masks[merged.remaining_ids] = merged.masks
         if self.container == "subset":
-            container: SkylineContainer = SubsetContainer(dataset.values, d, counter)
+            container: SkylineContainer = SubsetContainer(
+                dataset.values, d, counter, memoize=self.memoize
+            )
         else:
             # Ablation mode: identical merge phase, plain list store — this
             # isolates the contribution of the subset index (Algs. 2-4)

@@ -13,7 +13,12 @@ interface plus its two implementations:
   subspace, so provably-incomparable skyline points are never tested.
 
 Both return candidates as an ``(ids, values_block)`` pair so hosts can run
-the vectorised exact-count dominance kernel on the block directly.
+the vectorised exact-count dominance kernel on the block directly.  The
+blocks are *stable-prefix*: between two ``add`` calls the returned block is
+identical, and an ``add`` only ever appends rows — hosts exploit this (via
+:attr:`SkylineContainer.generation`) to maintain incremental per-subspace
+views (e.g. SDI's per-dimension sorted prefixes) without re-deriving them
+from scratch on every testing point.
 """
 
 from __future__ import annotations
@@ -41,6 +46,18 @@ class _GrowingBlock:
         self._data[self._len] = row
         self._len += 1
 
+    def extend(self, rows: np.ndarray) -> None:
+        needed = self._len + rows.shape[0]
+        if needed > self._data.shape[0]:
+            capacity = self._data.shape[0]
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty((capacity, self._data.shape[1]))
+            grown[: self._len] = self._data[: self._len]
+            self._data = grown
+        self._data[self._len : needed] = rows
+        self._len = needed
+
     def view(self) -> np.ndarray:
         return self._data[: self._len]
 
@@ -61,7 +78,9 @@ class SkylineContainer(ABC):
 
         Returns ``(ids, block)`` where ``block[k]`` holds the coordinates of
         skyline point ``ids[k]``.  Every stored point that could possibly
-        dominate the testing point is guaranteed to be in the result.
+        dominate the testing point is guaranteed to be in the result, and
+        consecutive calls with the same ``mask`` and no intervening ``add``
+        return identical arrays (stable-prefix contract).
         """
 
     @abstractmethod
@@ -72,6 +91,21 @@ class SkylineContainer(ABC):
     def __len__(self) -> int:
         """Number of stored points."""
 
+    #: Whether :meth:`candidates` actually varies with ``mask``.  Hosts use
+    #: this to key derived per-mask views: a mask-insensitive store (the
+    #: plain list) needs only one view per dimension, not one per subspace.
+    uses_masks: bool = True
+
+    @property
+    def generation(self) -> int:
+        """Monotone change counter; advances at least once per ``add``.
+
+        Hosts key incremental candidate views on this: a block returned by
+        :meth:`candidates` stays a prefix of any later block for the same
+        mask while the container only grows (no removals).
+        """
+        return len(self)
+
 
 class ListContainer(SkylineContainer):
     """Insertion-ordered list store; every stored point is always a candidate.
@@ -79,6 +113,8 @@ class ListContainer(SkylineContainer):
     This is what plain SFS/SaLSa/LESS use: testing in insertion order means
     low-score (highly dominating) points are compared first.
     """
+
+    uses_masks = False
 
     def __init__(self, values: np.ndarray) -> None:
         self._values = values
@@ -105,6 +141,24 @@ class ListContainer(SkylineContainer):
         return len(self._ids)
 
 
+class _MaskBlock:
+    """Gathered candidate rows of one query subspace (stable prefix).
+
+    Mirrors the index's memoized id list: when the list grows by ``r`` ids,
+    only the ``r`` new rows are gathered from the dataset — every testing
+    point after that reuses the same contiguous block.
+    """
+
+    __slots__ = ("generation", "epoch", "n", "ids", "block")
+
+    def __init__(self, d: int) -> None:
+        self.generation = -1
+        self.epoch = -1
+        self.n = 0
+        self.ids = np.empty(0, dtype=np.intp)
+        self.block = _GrowingBlock(d, initial_capacity=8)
+
+
 class SubsetContainer(SkylineContainer):
     """Subset-index-backed store: candidates filtered by Lemma 5.1.
 
@@ -112,6 +166,14 @@ class SubsetContainer(SkylineContainer):
     dominating subspace is a superset of ``mask`` — the minimal correct
     candidate set.  Index accesses are recorded on the counter separately
     from dominance tests.
+
+    Parameters
+    ----------
+    memoize:
+        Forwarded to the :class:`SkylineIndex`; additionally enables the
+        per-subspace gathered-block cache.  ``False`` reproduces the
+        scalar reference path (fresh traversal + fresh gather per query)
+        with bit-identical results and dominance-test accounting.
     """
 
     def __init__(
@@ -119,25 +181,50 @@ class SubsetContainer(SkylineContainer):
         values: np.ndarray,
         d: int,
         counter: DominanceCounter | None = None,
+        memoize: bool = True,
     ) -> None:
         self._values = values
-        self._index = SkylineIndex(d)
+        self._index = SkylineIndex(d, memoize=memoize)
         self._counter = counter
         self._all_ids: list[int] = []
+        self._blocks: dict[int, _MaskBlock] = {}
 
     @property
     def index(self) -> SkylineIndex:
         """The underlying prefix-tree index (exposed for diagnostics)."""
         return self._index
 
+    @property
+    def generation(self) -> int:
+        return self._index.generation
+
     def add(self, point_id: int, mask: int) -> None:
         self._index.put(point_id, mask)
         self._all_ids.append(point_id)
 
     def candidates(self, mask: int) -> tuple[np.ndarray, np.ndarray]:
-        ids = self._index.query(mask, self._counter)
-        id_array = np.asarray(ids, dtype=np.intp)
-        return id_array, self._values[id_array]
+        ids = self._index.query_array(mask, self._counter)
+        if not self._index.memoized:
+            return ids, self._values[ids]
+        cached = self._blocks.get(mask)
+        if cached is None:
+            cached = _MaskBlock(self._values.shape[1])
+            self._blocks[mask] = cached
+        generation = self._index.generation
+        if cached.generation != generation:
+            epoch = self._index.epoch
+            if cached.epoch != epoch:
+                # A removal may have shrunk or reordered the result set:
+                # the append-only block is no longer a valid prefix.
+                cached.n = 0
+                cached.block = _GrowingBlock(self._values.shape[1], 8)
+                cached.epoch = epoch
+            if ids.shape[0] > cached.n:
+                cached.block.extend(self._values[ids[cached.n :]])
+                cached.n = ids.shape[0]
+            cached.ids = ids
+            cached.generation = generation
+        return cached.ids, cached.block.view()
 
     def ids(self) -> list[int]:
         return list(self._all_ids)

@@ -68,6 +68,9 @@ class MergeResult:
     final_stability: int
     exhausted: bool
     metadata: dict[str, object] = field(default_factory=dict)
+    _position_of: dict[int, int] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def initial_skyline_ids(self) -> list[int]:
@@ -75,11 +78,22 @@ class MergeResult:
         return [*self.pivot_ids, *self.duplicate_skyline_ids]
 
     def mask_of(self, point_id: int) -> int:
-        """The maximum dominating subspace of a remaining point."""
-        idx = np.nonzero(self.remaining_ids == point_id)[0]
-        if idx.size == 0:
+        """The maximum dominating subspace of a remaining point.
+
+        ``O(1)`` after a lazily built id → position map (the boosted scan
+        looks masks up per testing point; a linear ``np.nonzero`` scan per
+        lookup would be quadratic overall).
+        """
+        if self._position_of is None:
+            positions = {
+                int(pid): pos for pos, pid in enumerate(self.remaining_ids)
+            }
+            object.__setattr__(self, "_position_of", positions)
+        assert self._position_of is not None
+        position = self._position_of.get(point_id)
+        if position is None:
             raise KeyError(f"point {point_id} is not in the remaining set")
-        return int(self.masks[idx[0]])
+        return int(self.masks[position])
 
 
 #: Pivot scoring strategies for the ablation study.  Every strategy must
@@ -128,8 +142,20 @@ def merge(
     else:  # maxmin: smallest worst coordinate; sum tiebreak keeps it skyline
         scores = shifted.max(axis=1)
 
-    alive = np.arange(n, dtype=np.intp)
-    masks = np.zeros(n, dtype=np.int64)
+    # The pruning loop operates on *compacted* parallel buffers: ids,
+    # coordinates, scores, sums and masks of the alive points occupy the
+    # prefix [:size] of preallocated arrays, in original id order.  Each
+    # iteration runs the dominating-subspace kernel on the two contiguous
+    # slices around the pivot row (no per-pivot fancy-index gather) and
+    # then compacts pivot + pruned rows away in one boolean pass — the
+    # batched replacement for the former ``np.delete`` + gather + filter
+    # sequence, with identical pivot selection, masks and test accounting.
+    size = n
+    ids_buf = np.arange(n, dtype=np.intp)
+    vals_buf = np.array(values, copy=True)
+    score_buf = np.array(scores, copy=True)
+    sums_buf = np.array(sums, copy=True)
+    masks_buf = np.zeros(n, dtype=np.int64)
     tracker = StabilityTracker(d)
     pivots: list[int] = []
     duplicates: list[int] = []
@@ -138,32 +164,52 @@ def merge(
     exhausted = False
 
     while stability < sigma:
-        if alive.size == 0:
+        if size == 0:
             exhausted = True
             break
-        local_scores = scores[alive]
-        minima = np.nonzero(local_scores == local_scores.min())[0]
-        local = int(minima[np.argmin(sums[alive[minima]])])
-        pivot = int(alive[local])
-        pivots.append(pivot)
-        alive = np.delete(alive, local)
+        active_scores = score_buf[:size]
+        minima = np.nonzero(active_scores == active_scores.min())[0]
+        local = int(minima[np.argmin(sums_buf[:size][minima])])
+        pivots.append(int(ids_buf[local]))
+        pivot_row = vals_buf[local].copy()
         iterations += 1
-        if alive.size:
-            subs = dominating_subspaces(values[alive], values[pivot], counter)
-            masks[alive] = bitset.union(masks[alive], subs)
-            pruned = subs == 0
+        keep = np.ones(size, dtype=bool)
+        keep[local] = False
+        if size > 1:
+            # One dominance test per surviving point, exactly as the
+            # scalar loop would charge: the pivot row itself is excluded
+            # by splitting the block around it.
+            subs = np.empty(size, dtype=np.int64)
+            subs[local] = 0
+            if local:
+                subs[:local] = dominating_subspaces(
+                    vals_buf[:local], pivot_row, counter
+                )
+            if local + 1 < size:
+                subs[local + 1 : size] = dominating_subspaces(
+                    vals_buf[local + 1 : size], pivot_row, counter
+                )
+            masks_buf[:size] = bitset.union(masks_buf[:size], subs)
+            pruned = (subs == 0) & keep
             if pruned.any():
-                pruned_ids = alive[pruned]
-                equal = np.all(values[pruned_ids] == values[pivot], axis=1)
+                pruned_ids = ids_buf[:size][pruned]
+                equal = np.all(vals_buf[:size][pruned] == pivot_row, axis=1)
                 duplicates.extend(int(i) for i in pruned_ids[equal])
-                alive = alive[~pruned]
-        stability = tracker.update(np.bitwise_count(masks[alive]))
+                keep[pruned] = False
+        newsize = int(keep.sum())
+        ids_buf[:newsize] = ids_buf[:size][keep]
+        vals_buf[:newsize] = vals_buf[:size][keep]
+        score_buf[:newsize] = score_buf[:size][keep]
+        sums_buf[:newsize] = sums_buf[:size][keep]
+        masks_buf[:newsize] = masks_buf[:size][keep]
+        size = newsize
+        stability = tracker.update(np.bitwise_count(masks_buf[:size]))
 
     return MergeResult(
         pivot_ids=pivots,
         duplicate_skyline_ids=duplicates,
-        remaining_ids=alive,
-        masks=masks[alive],
+        remaining_ids=ids_buf[:size].copy(),
+        masks=masks_buf[:size].copy(),
         iterations=iterations,
         final_stability=stability,
         exhausted=exhausted,

@@ -27,6 +27,7 @@ __all__ = [
     "dominating_subspace",
     "dominating_subspaces",
     "first_dominator",
+    "first_dominator_prefix",
     "dominance_mask",
 ]
 
@@ -122,3 +123,29 @@ def first_dominator(
     if counter is not None:
         counter.add(n)
     return -1
+
+
+def first_dominator_prefix(
+    block: np.ndarray,
+    col: np.ndarray,
+    bound: float,
+    q: np.ndarray,
+    counter: DominanceCounter | None = None,
+) -> int:
+    """:func:`first_dominator` over the rows of ``block`` with ``col <= bound``.
+
+    ``block`` must be sorted ascending by ``col`` (ties broken by insertion
+    order), with ``col`` its sort-key column.  Because the key is sorted,
+    the qualifying rows are exactly the prefix up to
+    ``searchsorted(col, bound, side="right")`` — identical, element for
+    element, to stably sorting the boolean-filtered subset, so the charged
+    test count matches the scalar filter-then-sort path bit for bit.
+
+    This is SDI's dimension-skyline prefix test reduced from an ``O(k)``
+    boolean filter plus an ``O(k log k)`` sort per testing point to one
+    ``O(log k)`` binary search over an incrementally maintained view.
+    """
+    k = int(np.searchsorted(col, bound, side="right"))
+    if k == 0:
+        return -1
+    return first_dominator(block[:k], q, counter)

@@ -12,7 +12,7 @@
   style of Chester et al. [6], the source of the paper's real datasets.
 """
 
-from repro.extensions.parallel import parallel_skyline
+from repro.extensions.parallel import SkylineWorkerPool, parallel_skyline
 from repro.extensions.partialorder import PartialOrder, partial_order_skyline
 from repro.extensions.skyband import skyband, skyband_ids
 from repro.extensions.skycube import Skycube, subspace_skyline
@@ -22,6 +22,7 @@ from repro.extensions.topk import dominance_score, top_k_dominating
 __all__ = [
     "PartialOrder",
     "Skycube",
+    "SkylineWorkerPool",
     "StreamingSkyline",
     "dominance_score",
     "parallel_skyline",

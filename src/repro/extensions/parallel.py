@@ -14,11 +14,24 @@ Correctness is immediate: a globally undominated point is undominated in
 its own block, so the global skyline is a subset of the union of local
 skylines.  Dominance tests from all workers and the merge phase are summed
 into the caller's counter.
+
+Execution model
+---------------
+Work runs on a persistent :class:`SkylineWorkerPool`.  Instead of pickling
+the coordinate array into every worker on every call, the pool copies each
+distinct dataset once into a ``multiprocessing.shared_memory`` segment;
+workers attach by name and read only their ``[lo, hi)`` slice.  Repeated
+calls over the same dataset reuse both the processes and the segment —
+observable through :attr:`SkylineWorkerPool.stats`.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as mp
+import os
+import threading
+from multiprocessing import shared_memory
 
 import numpy as np
 
@@ -27,21 +40,201 @@ from repro.dataset import Dataset, as_dataset
 from repro.errors import InvalidParameterError
 from repro.stats.counters import DominanceCounter
 
+__all__ = [
+    "SkylineWorkerPool",
+    "default_workers",
+    "get_pool",
+    "parallel_skyline",
+    "shutdown_pool",
+]
 
-def _local_skyline(args: tuple[np.ndarray, str]) -> tuple[np.ndarray, int]:
-    """Worker: skyline indices (block-local) and test count of one block."""
-    block, algorithm = args
+#: Segments kept alive per pool before the least recently created is
+#: unlinked.  Each segment pins its source array in memory, so the cache is
+#: deliberately small — parallel workloads typically hammer one dataset.
+_MAX_SEGMENTS = 4
+
+
+def default_workers() -> int:
+    """Default block/worker count: the CPU count, capped at 8, at least 1."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def _shm_local_skyline(
+    args: tuple[str, tuple[int, ...], str, int, int, str],
+) -> tuple[np.ndarray, int]:
+    """Worker: skyline indices (block-local) and test count of one block.
+
+    The block is sliced out of the shared segment and copied before the
+    segment is detached, so the compute phase never holds shared pages.
+    """
+    shm_name, shape, dtype, lo, hi, algorithm = args
+    # Pool workers (fork or spawn) inherit the owner's resource tracker,
+    # so attaching re-registers the already-registered name — a set-level
+    # no-op.  The owner alone unlinks, on eviction, close() or atexit;
+    # unregistering here instead would drop the owner's registration and
+    # spam KeyErrors in the tracker (bpo-39959).
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        values = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+        block = np.array(values[lo:hi], copy=True)
+    finally:
+        shm.close()
     counter = DominanceCounter()
     result = get_algorithm(algorithm).compute(Dataset(block), counter=counter)
     return result.indices, counter.tests
 
 
+class SkylineWorkerPool:
+    """A reusable process pool with a shared-memory dataset cache.
+
+    Parameters
+    ----------
+    workers:
+        Minimum pool size; the pool grows (restarting once) if a call needs
+        more concurrent blocks.  Defaults to :func:`default_workers`.
+    max_segments:
+        Distinct datasets cached in shared memory before eviction.
+
+    Attributes
+    ----------
+    stats:
+        Plain-dict counters — ``pool_starts``, ``segments_created``,
+        ``segments_reused`` and ``tasks_dispatched`` — so tests and
+        benchmarks can assert that repeated calls re-pickle nothing.
+    """
+
+    def __init__(
+        self, workers: int | None = None, max_segments: int = _MAX_SEGMENTS
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        self._size_hint = workers if workers is not None else default_workers()
+        self._max_segments = max(1, max_segments)
+        self._pool: mp.pool.Pool | None = None
+        self._processes = 0
+        # key -> (segment, source array).  The strong reference to the
+        # source array pins its id() so the cache key cannot be recycled
+        # onto a different array, and dict order gives FIFO eviction.
+        self._segments: dict[
+            tuple[int, tuple[int, ...], str],
+            tuple[shared_memory.SharedMemory, np.ndarray],
+        ] = {}
+        self._lock = threading.Lock()
+        self.stats = {
+            "pool_starts": 0,
+            "segments_created": 0,
+            "segments_reused": 0,
+            "tasks_dispatched": 0,
+        }
+
+    @property
+    def processes(self) -> int:
+        """Current pool size (0 before the first dispatch)."""
+        return self._processes
+
+    def _ensure_pool(self, needed: int) -> mp.pool.Pool:
+        target = max(needed, self._size_hint)
+        if self._pool is None or self._processes < needed:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+            method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            self._pool = mp.get_context(method).Pool(processes=target)
+            self._processes = target
+            self.stats["pool_starts"] += 1
+        return self._pool
+
+    def _segment_for(self, values: np.ndarray) -> str:
+        key = (id(values), values.shape, str(values.dtype))
+        with self._lock:
+            cached = self._segments.get(key)
+            if cached is not None:
+                self.stats["segments_reused"] += 1
+                return cached[0].name
+            while len(self._segments) >= self._max_segments:
+                oldest = next(iter(self._segments))
+                shm, _source = self._segments.pop(oldest)
+                shm.close()
+                shm.unlink()
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(values.nbytes, 1)
+            )
+            np.ndarray(values.shape, dtype=values.dtype, buffer=shm.buf)[
+                ...
+            ] = values
+            self._segments[key] = (shm, values)
+            self.stats["segments_created"] += 1
+            return shm.name
+
+    def map_blocks(
+        self,
+        values: np.ndarray,
+        pairs: list[tuple[int, int]],
+        algorithm: str,
+    ) -> list[tuple[np.ndarray, int]]:
+        """Local skylines of ``values[lo:hi]`` for each ``(lo, hi)`` pair."""
+        name = self._segment_for(values)
+        shape, dtype = values.shape, str(values.dtype)
+        tasks = [
+            (name, shape, dtype, int(lo), int(hi), algorithm)
+            for lo, hi in pairs
+        ]
+        pool = self._ensure_pool(len(tasks))
+        self.stats["tasks_dispatched"] += len(tasks)
+        return pool.map(_shm_local_skyline, tasks)
+
+    def close(self) -> None:
+        """Terminate the processes and unlink every cached segment."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._processes = 0
+        with self._lock:
+            for shm, _source in self._segments.values():
+                shm.close()
+                shm.unlink()
+            self._segments.clear()
+
+    def __enter__(self) -> "SkylineWorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+_default_pool: SkylineWorkerPool | None = None
+_default_pool_lock = threading.Lock()
+
+
+def get_pool(workers: int | None = None) -> SkylineWorkerPool:
+    """The process-wide default pool, created on first use."""
+    global _default_pool
+    with _default_pool_lock:
+        if _default_pool is None:
+            _default_pool = SkylineWorkerPool(workers)
+        return _default_pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the default pool (idempotent; registered with atexit)."""
+    global _default_pool
+    with _default_pool_lock:
+        if _default_pool is not None:
+            _default_pool.close()
+            _default_pool = None
+
+
+atexit.register(shutdown_pool)
+
+
 def parallel_skyline(
     data: Dataset | np.ndarray,
-    workers: int = 2,
+    workers: int | None = None,
     algorithm: str = "sfs",
     merge_algorithm: str = "sfs",
     counter: DominanceCounter | None = None,
+    pool: SkylineWorkerPool | None = None,
 ) -> np.ndarray:
     """Compute the skyline with ``workers`` processes; returns sorted row ids.
 
@@ -49,13 +242,20 @@ def parallel_skyline(
     ----------
     workers:
         Number of blocks / worker processes; ``1`` runs sequentially.
+        Defaults to :func:`default_workers` (CPU count, capped at 8).
     algorithm:
         Sequential algorithm used for each block's local skyline.
     merge_algorithm:
         Algorithm used for the final skyline over the union of local
         skylines.
+    pool:
+        A :class:`SkylineWorkerPool` to run on; defaults to the shared
+        process-wide pool, so consecutive calls reuse workers and the
+        dataset's shared-memory segment.
     """
     dataset = as_dataset(data)
+    if workers is None:
+        workers = default_workers()
     if workers < 1:
         raise InvalidParameterError(f"workers must be >= 1, got {workers}")
     counter = counter if counter is not None else DominanceCounter()
@@ -67,18 +267,16 @@ def parallel_skyline(
         return result.indices
 
     bounds = np.linspace(0, n, workers + 1, dtype=int)
-    blocks = [
-        (dataset.values[lo:hi], algorithm)
-        for lo, hi in zip(bounds, bounds[1:])
-        if hi > lo
+    pairs = [
+        (int(lo), int(hi)) for lo, hi in zip(bounds, bounds[1:]) if hi > lo
     ]
-    with mp.get_context("fork").Pool(processes=len(blocks)) as pool:
-        locals_ = pool.map(_local_skyline, blocks)
+    pool = pool if pool is not None else get_pool(workers)
+    locals_ = pool.map_blocks(dataset.values, pairs, algorithm)
 
     candidate_ids: list[int] = []
-    for (local_indices, tests), lo in zip(locals_, bounds):
+    for (local_indices, tests), (lo, _hi) in zip(locals_, pairs):
         counter.add(tests)
-        candidate_ids.extend((int(lo) + local_indices).tolist())
+        candidate_ids.extend((lo + local_indices).tolist())
     candidates = np.asarray(sorted(candidate_ids), dtype=np.intp)
 
     union = Dataset(dataset.values[candidates], name=f"{dataset.name}[union]")

@@ -55,7 +55,7 @@ def fast_skyline(
     order = np.argsort(values.sum(axis=1), kind="stable")
     ordered = values[order]
 
-    sky_rows = np.empty((0, dataset.dimensionality))
+    sky_rows = np.empty((0, dataset.dimensionality), dtype=values.dtype)
     sky_ids: list[int] = []
     for start in range(0, n, chunk_size):
         block = ordered[start : start + chunk_size]

@@ -24,12 +24,25 @@ class DominanceCounter:
     index_queries:
         Number of subset-index ``query`` calls (boosted algorithms only).
     index_nodes_visited:
-        Prefix-tree nodes touched by those queries.
+        Prefix-tree nodes touched by those queries.  A memoized query that
+        is served from the per-subspace cache touches no tree nodes, so
+        this counter measures the *actual* traversal work — dominance-test
+        accounting is unaffected by memoization.
+    index_cache_hits:
+        Memoized-index queries answered from the per-subspace cache.
+    index_cache_misses:
+        Memoized-index queries that required a full tree traversal.
+    index_cache_invalidations:
+        Cache entries discarded because the index changed under them
+        (generation mismatch after a ``remove``/``clear``).
     """
 
     tests: int = 0
     index_queries: int = 0
     index_nodes_visited: int = 0
+    index_cache_hits: int = 0
+    index_cache_misses: int = 0
+    index_cache_invalidations: int = 0
     extras: dict[str, float] = field(default_factory=dict)
 
     def add(self, n: int = 1) -> None:
@@ -40,6 +53,19 @@ class DominanceCounter:
         """Record one subset-index query that touched ``nodes_visited`` nodes."""
         self.index_queries += 1
         self.index_nodes_visited += nodes_visited
+
+    def add_cache_hit(self) -> None:
+        """Record one memoized query served without a tree traversal."""
+        self.index_cache_hits += 1
+
+    def add_cache_miss(self, invalidated: int = 0) -> None:
+        """Record one memoized query that fell through to a traversal.
+
+        ``invalidated`` counts cache entries discarded on the way (stale
+        generations found during the lookup).
+        """
+        self.index_cache_misses += 1
+        self.index_cache_invalidations += invalidated
 
     def mean_tests(self, cardinality: int) -> float:
         """The paper's mean dominance test number: ``tests / N``."""
@@ -52,4 +78,7 @@ class DominanceCounter:
         self.tests = 0
         self.index_queries = 0
         self.index_nodes_visited = 0
+        self.index_cache_hits = 0
+        self.index_cache_misses = 0
+        self.index_cache_invalidations = 0
         self.extras.clear()

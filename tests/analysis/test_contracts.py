@@ -28,6 +28,8 @@ class TestCheckedContainer:
         assert sorted(container.ids()) == [0, 1]
 
     def test_detects_overbroad_query(self, monkeypatch):
+        # Sabotage the production query path (``query_array`` backs
+        # ``candidates``): return every stored point regardless of mask.
         def everything(self, subspace, counter=None):
             out = []
             stack = [self._root]
@@ -35,9 +37,9 @@ class TestCheckedContainer:
                 node = stack.pop()
                 out.extend(node.points)
                 stack.extend(node.children.values())
-            return out
+            return np.asarray(out, dtype=np.intp)
 
-        monkeypatch.setattr(SkylineIndex, "query", everything)
+        monkeypatch.setattr(SkylineIndex, "query_array", everything)
         values = np.array([[0.1, 0.9], [0.9, 0.1]])
         container = CheckedSubsetContainer(values, d=2)
         container.add(0, 0b01)
@@ -46,12 +48,12 @@ class TestCheckedContainer:
             container.candidates(0b01)
 
     def test_detects_lossy_query(self, monkeypatch):
-        original = SkylineIndex.query
+        original = SkylineIndex.query_array
 
         def lossy(self, subspace, counter=None):
             return original(self, subspace, counter)[:-1]
 
-        monkeypatch.setattr(SkylineIndex, "query", lossy)
+        monkeypatch.setattr(SkylineIndex, "query_array", lossy)
         values = np.array([[0.1, 0.9], [0.9, 0.1]])
         container = CheckedSubsetContainer(values, d=2)
         container.add(0, 0b01)
@@ -81,9 +83,9 @@ class TestEndToEnd:
                 node = stack.pop()
                 out.extend(node.points)
                 stack.extend(node.children.values())
-            return out
+            return np.asarray(out, dtype=np.intp)
 
-        monkeypatch.setattr(SkylineIndex, "query", everything)
+        monkeypatch.setattr(SkylineIndex, "query_array", everything)
         findings = run_contract_checks(kinds=("UI",), n=80, d=4, seeds=(1,))
         assert findings
         assert all(f.rule == "contract" for f in findings)

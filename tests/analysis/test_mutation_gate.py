@@ -2,14 +2,17 @@
 
 These are the acceptance-criterion mutations for the analysis subsystem:
 
-1. breaking ``SkylineIndex.query``'s superset filter makes the contract
-   layer (and hence ``--strict`` / ``--contracts``) exit non-zero;
+1. breaking the superset filter behind ``SkylineIndex.query_array`` (the
+   entry point the containers scan through) makes the contract layer (and
+   hence ``--strict`` / ``--contracts``) exit non-zero;
 2. dropping a ``counter`` argument from a kernel call is caught by the
    RPR001 linter;
 3. a miscomputing algorithm makes the differential layer exit non-zero.
 """
 
 import textwrap
+
+import numpy as np
 
 from repro.algorithms.sfs import SFS
 from repro.analysis.__main__ import main
@@ -27,18 +30,18 @@ def _overbroad_query(self, subspace, counter=None):
         node = stack.pop()
         out.extend(node.points)
         stack.extend(node.children.values())
-    return out
+    return np.asarray(out, dtype=np.intp)
 
 
 class TestBrokenSupersetFilter:
     def test_contract_layer_fails(self, monkeypatch):
-        monkeypatch.setattr(SkylineIndex, "query", _overbroad_query)
+        monkeypatch.setattr(SkylineIndex, "query_array", _overbroad_query)
         findings = run_contract_checks(kinds=("UI",), n=80, d=4, seeds=(1,))
         assert findings
         assert gate_exit_code(findings) == 1
 
     def test_cli_contract_gate_exits_nonzero(self, monkeypatch, capsys):
-        monkeypatch.setattr(SkylineIndex, "query", _overbroad_query)
+        monkeypatch.setattr(SkylineIndex, "query_array", _overbroad_query)
         assert main(["--no-lint", "--contracts"]) == 1
         assert "Lemma 5.1" in capsys.readouterr().out
 

@@ -96,4 +96,16 @@ class TestEffectiveness:
         counter = DominanceCounter()
         SubsetBoost(SFS()).compute(ui_small, counter=counter)
         assert counter.index_queries > 0
+        # Memoized queries are answered from the cache without touching the
+        # tree, so only cache misses traverse nodes (at least the root each).
+        assert counter.index_cache_hits + counter.index_cache_misses == (
+            counter.index_queries
+        )
+        assert counter.index_nodes_visited >= counter.index_cache_misses > 0
+
+    def test_unmemoized_queries_visit_nodes(self, ui_small):
+        counter = DominanceCounter()
+        SubsetBoost(SFS(), memoize=False).compute(ui_small, counter=counter)
+        assert counter.index_queries > 0
+        assert counter.index_cache_hits == counter.index_cache_misses == 0
         assert counter.index_nodes_visited >= counter.index_queries

@@ -5,7 +5,11 @@ import pytest
 
 from repro.data import generate
 from repro.errors import InvalidParameterError
-from repro.extensions.parallel import parallel_skyline
+from repro.extensions.parallel import (
+    SkylineWorkerPool,
+    default_workers,
+    parallel_skyline,
+)
 from repro.stats.counters import DominanceCounter
 from tests.conftest import brute_skyline_ids
 
@@ -53,3 +57,55 @@ class TestParallelSkyline:
     def test_duplicate_heavy(self, duplicate_heavy):
         got = parallel_skyline(duplicate_heavy, workers=3)
         assert list(got) == brute_skyline_ids(duplicate_heavy.values)
+
+    def test_default_workers_bounds(self):
+        assert 1 <= default_workers() <= 8
+
+    def test_workers_defaults_when_omitted(self, dataset):
+        got = parallel_skyline(dataset)
+        assert list(got) == brute_skyline_ids(dataset.values)
+
+
+class TestWorkerPoolReuse:
+    def test_repeated_calls_reuse_pool_and_segment(self, dataset):
+        with SkylineWorkerPool(workers=2) as pool:
+            first = parallel_skyline(dataset, workers=2, pool=pool)
+            second = parallel_skyline(dataset, workers=2, pool=pool)
+            assert list(first) == list(second)
+            assert list(first) == brute_skyline_ids(dataset.values)
+            # One pool of processes, one shared-memory copy of the dataset:
+            # the second call dispatched block bounds only, no array pickle.
+            assert pool.stats["pool_starts"] == 1
+            assert pool.stats["segments_created"] == 1
+            assert pool.stats["segments_reused"] == 1
+            assert pool.stats["tasks_dispatched"] == 4
+
+    def test_distinct_datasets_get_distinct_segments(self, dataset):
+        other = generate("CO", n=200, d=3, seed=11)
+        with SkylineWorkerPool(workers=2) as pool:
+            parallel_skyline(dataset, workers=2, pool=pool)
+            parallel_skyline(other, workers=2, pool=pool)
+            assert pool.stats["segments_created"] == 2
+            assert pool.stats["pool_starts"] == 1
+
+    def test_segment_cache_evicts_oldest(self, dataset):
+        with SkylineWorkerPool(workers=2, max_segments=1) as pool:
+            other = generate("CO", n=200, d=3, seed=11)
+            parallel_skyline(dataset, workers=2, pool=pool)
+            parallel_skyline(other, workers=2, pool=pool)
+            parallel_skyline(dataset, workers=2, pool=pool)
+            # The first segment was evicted to admit the second, so the
+            # third call had to recreate it.
+            assert pool.stats["segments_created"] == 3
+            assert pool.stats["segments_reused"] == 0
+
+    def test_pool_grows_for_larger_calls(self, dataset):
+        with SkylineWorkerPool(workers=2) as pool:
+            parallel_skyline(dataset, workers=2, pool=pool)
+            parallel_skyline(dataset, workers=4, pool=pool)
+            assert pool.processes >= 4
+            assert pool.stats["pool_starts"] == 2
+
+    def test_invalid_pool_size(self):
+        with pytest.raises(InvalidParameterError):
+            SkylineWorkerPool(workers=0)
