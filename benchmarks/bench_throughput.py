@@ -15,6 +15,15 @@ Both paths must produce the identical skyline and charge the identical
 dominance-test count — the script exits non-zero otherwise, so it doubles
 as an equivalence gate.  Results land in ``BENCH_throughput.json``.
 
+A second scenario benchmarks the engine's prepared caches under the
+ROADMAP's target workload: one dataset, 50 skyline queries cycling over a
+handful of subspaces.  The *cold* path uses a fresh
+:class:`~repro.engine.SkylineEngine` per query (no shared state, the
+pre-engine behaviour); the *warm* path shares one engine, so repeated
+subspaces are served from cached views, Merge results and sort orders.
+Both paths must return identical skylines, and the warm path must be at
+least 2x faster in aggregate.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py            # paper-scale
@@ -31,6 +40,8 @@ from pathlib import Path
 
 import numpy as np
 
+from itertools import combinations
+
 from repro.algorithms.salsa import SaLSa
 from repro.algorithms.sdi import SDI
 from repro.algorithms.sfs import SFS
@@ -38,6 +49,7 @@ from repro.core.container import SubsetContainer
 from repro.core.merge import merge
 from repro.core.stability import default_threshold
 from repro.data import generate
+from repro.engine import SkylineEngine
 from repro.stats.counters import DominanceCounter
 
 #: host name -> (scalar factory, batched factory)
@@ -122,6 +134,80 @@ def run(kind, n, d, seed, repeats):
     return report, ok
 
 
+def query_stream(d, queries, distinct=10, width=2):
+    """A deterministic cycle of ``queries`` subspace queries.
+
+    ``distinct`` dimension subsets of ``width`` dims each, visited
+    round-robin — the interactive "compare two criteria at a time" shape
+    where per-query scan work is small and the prepared Merge results and
+    sort orders carry the cost.
+    """
+    pool = list(combinations(range(d), width))[:distinct]
+    return [pool[i % len(pool)] for i in range(queries)]
+
+
+def run_session(dataset, stream, algorithm, shared_engine):
+    """Total wall clock + results for one query stream.
+
+    ``shared_engine`` keeps one engine (and its prepared caches) across the
+    stream; otherwise every query gets a fresh engine, reproducing the
+    stateless pre-engine behaviour.
+    """
+    engine = SkylineEngine() if shared_engine else None
+    counter = DominanceCounter()
+    results = []
+    total = 0.0
+    for dims in stream:
+        query_engine = engine if engine is not None else SkylineEngine()
+        start = time.perf_counter()
+        view = query_engine.prepare(dataset).view(dims, counter=counter)
+        result = query_engine.execute(view, algorithm, counter=counter)
+        total += time.perf_counter() - start
+        results.append(list(result.indices))
+    return results, counter, total
+
+
+def run_repeated_queries(kind, n, d, seed, queries=50, algorithm="sfs-subset"):
+    """Cold (fresh engine per query) vs warm (shared engine) sessions."""
+    dataset = generate(kind, n=n, d=d, seed=seed)
+    stream = query_stream(d, queries)
+    cold_results, cold_counter, cold_s = run_session(
+        dataset, stream, algorithm, shared_engine=False
+    )
+    warm_results, warm_counter, warm_s = run_session(
+        dataset, stream, algorithm, shared_engine=True
+    )
+    identical = cold_results == warm_results
+    speedup = cold_s / warm_s if warm_s else None
+    report = {
+        "config": {
+            "kind": kind,
+            "n": n,
+            "d": d,
+            "seed": seed,
+            "queries": queries,
+            "distinct_subspaces": len(set(stream)),
+            "algorithm": algorithm,
+        },
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "speedup": round(speedup, 3) if speedup else None,
+        "cold_dominance_tests": cold_counter.tests,
+        "warm_dominance_tests": warm_counter.tests,
+        "warm_prepared_cache_hits": warm_counter.prepared_cache_hits,
+        "warm_prepared_cache_misses": warm_counter.prepared_cache_misses,
+        "identical": identical,
+        "meets_2x": bool(speedup and speedup >= 2.0),
+    }
+    marker = "" if identical else "  <-- MISMATCH"
+    print(
+        f"repeated-queries: cold {cold_s:8.4f}s  warm {warm_s:8.4f}s  "
+        f"speedup {report['speedup']:>6}x  "
+        f"prepared hits {warm_counter.prepared_cache_hits}{marker}"
+    )
+    return report, identical and report["meets_2x"]
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--kind", default="UI", choices=("UI", "CO", "AC"))
@@ -129,6 +215,12 @@ def main(argv=None):
     parser.add_argument("--d", type=int, default=8)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=50,
+        help="queries in the repeated-subspace engine scenario",
+    )
     parser.add_argument(
         "--quick",
         action="store_true",
@@ -145,10 +237,20 @@ def main(argv=None):
         args.n, args.d, args.repeats = 4000, 6, 2
 
     report, ok = run(args.kind, args.n, args.d, args.seed, args.repeats)
+    repeated, repeated_ok = run_repeated_queries(
+        args.kind, args.n, args.d, args.seed, queries=args.queries
+    )
+    report["repeated_queries"] = repeated
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
     if not ok:
         print("ERROR: batched path diverged from the scalar reference")
+        return 1
+    if not repeated_ok:
+        print(
+            "ERROR: warm engine session diverged from cold or fell short "
+            "of the 2x prepared-cache speedup"
+        )
         return 1
     return 0
 

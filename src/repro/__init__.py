@@ -25,6 +25,13 @@ from repro.core import SkylineIndex, SubsetBoost, merge
 from repro.core.autotune import tune_sigma
 from repro.data import generate
 from repro.dataset import Dataset
+from repro.engine import (
+    ExecutionContext,
+    Plan,
+    Planner,
+    PreparedDataset,
+    SkylineEngine,
+)
 from repro.errors import ReproError
 from repro.fast import fast_skyline
 from repro.query import SkylineQuery
@@ -35,7 +42,12 @@ __version__ = "1.0.0"
 __all__ = [
     "Dataset",
     "DominanceCounter",
+    "ExecutionContext",
+    "Plan",
+    "Planner",
+    "PreparedDataset",
     "ReproError",
+    "SkylineEngine",
     "SkylineIndex",
     "SkylineQuery",
     "SkylineResult",
@@ -53,10 +65,11 @@ __all__ = [
 
 def skyline(
     data: "Dataset | np.ndarray",
-    algorithm: str = "sdi-subset",
+    algorithm: str | None = "sdi-subset",
     sigma: int | None = None,
     counter: DominanceCounter | None = None,
-    **kwargs,
+    engine: SkylineEngine | None = None,
+    **kwargs: object,
 ) -> SkylineResult:
     """Compute the skyline of ``data`` with the named algorithm.
 
@@ -66,15 +79,25 @@ def skyline(
         A :class:`Dataset` or any ``(n, d)`` array-like; minimisation
         preference in every dimension.
     algorithm:
-        Registry name; see :func:`available_algorithms`.
+        Registry name; see :func:`available_algorithms`.  ``None`` lets the
+        engine's planner choose adaptively from dataset statistics.
     sigma:
         Stability threshold for ``*-subset`` algorithms.
     counter:
         Optional :class:`DominanceCounter` to accumulate instrumentation.
+    engine:
+        Optional shared :class:`SkylineEngine`; repeated calls through one
+        engine reuse prepared Merge results and sort orders.  A fresh
+        (cold) engine is used per call when omitted — identical dominance
+        tests to a direct algorithm call.
 
     Returns
     -------
     SkylineResult
-        Sorted skyline row indices plus exact dominance-test accounting.
+        Sorted skyline row indices plus exact dominance-test accounting and
+        the executed :class:`Plan` (``result.plan``).
     """
-    return get_algorithm(algorithm, sigma=sigma, **kwargs).compute(data, counter=counter)
+    engine = engine if engine is not None else SkylineEngine()
+    return engine.execute(
+        data, algorithm, sigma, counter=counter, host_options=kwargs or None
+    )

@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from collections.abc import Callable, Iterator
+from collections.abc import Callable, Iterator, MutableMapping
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -22,6 +23,9 @@ from repro.core.container import ListContainer, SkylineContainer
 from repro.dataset import Dataset, as_dataset
 from repro.dominance import first_dominator
 from repro.stats.counters import DominanceCounter
+
+if TYPE_CHECKING:  # import cycle: the engine executes these algorithms
+    from repro.engine.plan import Plan
 
 
 @dataclass(frozen=True)
@@ -40,6 +44,14 @@ class SkylineResult:
         Wall-clock time of the computation.
     cardinality:
         Dataset size ``N`` (denominator of the mean-DT metric).
+    counter:
+        The full :class:`DominanceCounter` of the run — index traversal
+        and cache counters included — so callers can audit the work done,
+        not just the headline test count.
+    plan:
+        The :class:`~repro.engine.plan.Plan` that produced this result
+        when the run went through :class:`~repro.engine.SkylineEngine`;
+        ``None`` for direct algorithm calls.
     """
 
     indices: np.ndarray
@@ -48,6 +60,7 @@ class SkylineResult:
     elapsed_seconds: float
     cardinality: int
     counter: DominanceCounter = field(repr=False, default_factory=DominanceCounter)
+    plan: "Plan | None" = field(repr=False, default=None)
 
     @property
     def size(self) -> int:
@@ -92,6 +105,11 @@ class SkylineAlgorithm(ABC):
     """Common interface of every skyline algorithm in the library."""
 
     name: str = "abstract"
+
+    #: Whether this algorithm's ``run_phase`` (if any) accepts a
+    #: ``sort_cache`` mapping for amortizing its sort phase across repeated
+    #: runs.  The engine only threads a cache through hosts that opt in.
+    supports_sort_cache: bool = False
 
     def compute(
         self,
@@ -162,6 +180,12 @@ class SortScanAlgorithm(SkylineAlgorithm, _ProgressiveMixin):
     container's candidates; survivors join the container.
     """
 
+    #: ``run_phase`` accepts an optional ``sort_cache`` mapping that stores
+    #: the computed scan order (and any derived sort-phase state) so a
+    #: :class:`~repro.engine.prepared.PreparedDataset` can amortize the sort
+    #: phase across repeated queries over the same (dataset, merge) pair.
+    supports_sort_cache = True
+
     def _run(self, dataset: Dataset, counter: DominanceCounter) -> list[int]:
         ids = np.arange(dataset.cardinality, dtype=np.intp)
         masks = np.zeros(dataset.cardinality, dtype=np.int64)
@@ -179,6 +203,7 @@ class SortScanAlgorithm(SkylineAlgorithm, _ProgressiveMixin):
         masks: np.ndarray,
         container: SkylineContainer,
         counter: DominanceCounter,
+        sort_cache: MutableMapping[str, object] | None = None,
     ) -> list[int]:
         """Presorted scan over ``ids`` using ``container`` as skyline store.
 
@@ -187,9 +212,13 @@ class SortScanAlgorithm(SkylineAlgorithm, _ProgressiveMixin):
         :class:`~repro.core.container.SkylineContainer`'s stable-prefix
         contract), and the per-point mask/id conversions are hoisted into
         single ``tolist`` passes so no numpy scalars are boxed per point.
+
+        ``sort_cache`` (when provided) must be private to one
+        ``(algorithm-configuration, dataset, ids)`` triple; the scan order
+        is read from it instead of re-sorting when present.
         """
         values = dataset.values
-        order = self.sort_ids(values, ids)
+        order = cached_sort_order(sort_cache, self.sort_ids, values, ids)
         masks_list = masks.tolist()
         skyline: list[int] = []
         for point_id in order.tolist():
@@ -205,3 +234,26 @@ def monotone_order(keys: np.ndarray, tiebreak: np.ndarray, ids: np.ndarray) -> n
     """Order ``ids`` by ``(keys, tiebreak)`` ascending via a stable lexsort."""
     selection = np.lexsort((tiebreak[ids], keys[ids]))
     return ids[selection]
+
+
+def cached_sort_order(
+    sort_cache: MutableMapping[str, object] | None,
+    sorter: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    values: np.ndarray,
+    ids: np.ndarray,
+) -> np.ndarray:
+    """Fetch the scan order from ``sort_cache`` or compute and store it.
+
+    The cache owner (:class:`~repro.engine.prepared.PreparedDataset`) keys
+    the mapping by ``(algorithm-configuration, dataset, ids)``, so inside
+    this helper the lookup key is just ``"order"``.  ``None`` disables
+    caching and always sorts.
+    """
+    if sort_cache is not None:
+        cached = sort_cache.get("order")
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+    order = sorter(values, ids)
+    if sort_cache is not None:
+        sort_cache["order"] = order
+    return order

@@ -85,7 +85,7 @@ def get_algorithm(
                 f"boostable hosts are {_BOOSTABLE}"
             )
         host = _PLAIN[host_name](**kwargs)
-        return SubsetBoost(host, sigma=sigma)
+        return SubsetBoost(host, sigma=sigma)  # noqa: RPR005 — the registry is the sanctioned factory
     if sigma is not None:
         raise UnknownAlgorithmError(
             f"sigma is only meaningful for '-subset' algorithms, got {name!r}"

@@ -14,9 +14,11 @@ that duplicate points of the stop point are never discarded unseen.
 
 from __future__ import annotations
 
+from collections.abc import MutableMapping
+
 import numpy as np
 
-from repro.algorithms.base import SortScanAlgorithm
+from repro.algorithms.base import SortScanAlgorithm, cached_sort_order
 from repro.algorithms.sortkeys import sort_keys, sum_tiebreak
 from repro.core.container import SkylineContainer
 from repro.dataset import Dataset
@@ -45,16 +47,21 @@ class SaLSa(SortScanAlgorithm):
         masks: np.ndarray,
         container: SkylineContainer,
         counter: DominanceCounter,
+        sort_cache: MutableMapping[str, object] | None = None,
     ) -> list[int]:
         values = dataset.values
-        order = self.sort_ids(values, ids)
+        order = cached_sort_order(sort_cache, self.sort_ids, values, ids)
         # The stop rule compares one point's minimum coordinate against
         # another's maximum across dimensions, which is only meaningful in a
         # common per-dimension frame: use the same min-corner shift as the
         # sort keys, so the scan order and the stop metric agree.
-        shifted = values - values.min(axis=0)
-        min_coords: list[float] = shifted.min(axis=1).tolist()
-        max_coords: list[float] = shifted.max(axis=1).tolist()
+        coords = sort_cache.get("salsa_coords") if sort_cache is not None else None
+        if coords is None:
+            shifted = values - values.min(axis=0)
+            coords = (shifted.min(axis=1).tolist(), shifted.max(axis=1).tolist())
+            if sort_cache is not None:
+                sort_cache["salsa_coords"] = coords
+        min_coords, max_coords = coords  # type: ignore[misc]
         masks_list = masks.tolist()
         stop_value = float("inf")
         skyline: list[int] = []

@@ -43,6 +43,8 @@ path for differential tests and benchmarks.
 
 from __future__ import annotations
 
+from collections.abc import MutableMapping
+
 import numpy as np
 
 from repro.algorithms.base import SkylineAlgorithm
@@ -123,6 +125,10 @@ class SDI(SkylineAlgorithm):
 
     name = "sdi"
 
+    #: The sort phase (per-dimension indexes + stop point) is cacheable via
+    #: the ``sort_cache`` parameter of :meth:`run_phase`.
+    supports_sort_cache = True
+
     def __init__(self, batched: bool = True) -> None:
         self.batched = batched
 
@@ -139,24 +145,32 @@ class SDI(SkylineAlgorithm):
         masks: np.ndarray,
         container: SkylineContainer,
         counter: DominanceCounter,
+        sort_cache: MutableMapping[str, object] | None = None,
     ) -> list[int]:
         values = dataset.values
         d = dataset.dimensionality
         ids = np.asarray(ids, dtype=np.intp)
         if ids.size == 0:
             return []
-        tiebreak = values.sum(axis=1)
 
-        # Sort phase: one index per dimension over the active ids.
-        orders = [
-            ids[np.lexsort((tiebreak[ids], values[ids, dim]))] for dim in range(d)
-        ]
+        cached = sort_cache.get("sdi_sort") if sort_cache is not None else None
+        if cached is not None:
+            orders, stop_point = cached  # type: ignore[misc]
+        else:
+            tiebreak = values.sum(axis=1)
 
-        # Stop point: minimum Euclidean distance to the minimum corner.
-        corner = values[ids].min(axis=0)
-        shifted = values[ids] - corner
-        stop_id = int(ids[np.argmin(np.einsum("ij,ij->i", shifted, shifted))])
-        stop_point = values[stop_id]
+            # Sort phase: one index per dimension over the active ids.
+            orders = [
+                ids[np.lexsort((tiebreak[ids], values[ids, dim]))] for dim in range(d)
+            ]
+
+            # Stop point: minimum Euclidean distance to the minimum corner.
+            corner = values[ids].min(axis=0)
+            shifted = values[ids] - corner
+            stop_id = int(ids[np.argmin(np.einsum("ij,ij->i", shifted, shifted))])
+            stop_point = values[stop_id]
+            if sort_cache is not None:
+                sort_cache["sdi_sort"] = (orders, stop_point)
 
         status = np.zeros(dataset.cardinality, dtype=np.int8)
         masks_list = masks.tolist()

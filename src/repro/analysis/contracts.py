@@ -14,6 +14,10 @@ approach rests on:
   maximum dominating subspace ``D_{q<S} = ⋃ D_{q<p}`` over the selected
   pivots, the subspace must be non-empty, and no survivor may be weakly
   dominated by a pivot.
+- **Engine equivalence** — a pinned plan executed by the engine must
+  reproduce the direct registry call bit-for-bit on a cold run (skyline
+  and charged dominance tests), and warm runs must serve boosted plans
+  from the prepared caches without changing the skyline.
 
 Checks are opt-in (they cost a brute-force pass per query) and report
 problems as :class:`~repro.analysis.report.Finding` records so the CLI
@@ -163,6 +167,52 @@ def verify_merge_masks(dataset: Dataset, sigma: int) -> None:
             )
 
 
+def verify_engine_equivalence(
+    dataset: Dataset,
+    algorithms: tuple[str, ...] = ("sfs", "salsa", "sdi", "sfs-subset", "sdi-subset"),
+) -> None:
+    """Engine contract: planned execution ≡ direct algorithm calls.
+
+    For each pinned algorithm, a cold :class:`~repro.engine.SkylineEngine`
+    run must return bit-identical skyline indices *and* charge the
+    identical dominance-test count as the direct registry call, and a
+    second (warm) run on the same engine must return the identical skyline
+    while recording prepared-cache hits for boosted plans.
+    """
+    from repro.algorithms.registry import get_algorithm
+    from repro.engine import SkylineEngine
+
+    for name in algorithms:
+        direct_counter = DominanceCounter()
+        direct = get_algorithm(name).compute(dataset, counter=direct_counter)
+        engine = SkylineEngine()
+        cold_counter = DominanceCounter()
+        cold = engine.execute(dataset, name, counter=cold_counter)
+        if not np.array_equal(direct.indices, cold.indices):
+            raise ContractViolation(
+                f"engine({name}) returned a different skyline than the "
+                f"direct call: {cold.indices.tolist()} vs "
+                f"{direct.indices.tolist()}"
+            )
+        if cold_counter.tests != direct_counter.tests:
+            raise ContractViolation(
+                f"engine({name}) charged {cold_counter.tests} dominance "
+                f"tests on a cold run; the direct call charged "
+                f"{direct_counter.tests}"
+            )
+        warm_counter = DominanceCounter()
+        warm = engine.execute(dataset, name, counter=warm_counter)
+        if not np.array_equal(direct.indices, warm.indices):
+            raise ContractViolation(
+                f"engine({name}) warm run diverged from the direct skyline"
+            )
+        if name.endswith("-subset") and warm_counter.prepared_cache_hits == 0:
+            raise ContractViolation(
+                f"engine({name}) warm run recorded no prepared-cache hits — "
+                "the Merge result was recomputed instead of reused"
+            )
+
+
 def _oracle_skyline(values: np.ndarray) -> list[int]:
     """Independent O(N^2) skyline oracle (no library kernels involved)."""
     n = values.shape[0]
@@ -196,6 +246,7 @@ def run_contract_checks(
             try:
                 verify_index_superset_filter(dataset)
                 verify_merge_masks(dataset, sigma=2)
+                verify_engine_equivalence(dataset)
             except ContractViolation as exc:
                 findings.append(
                     Finding(

@@ -1,4 +1,4 @@
-"""Repo-specific lint rules (RPR001–RPR004).
+"""Repo-specific lint rules (RPR001–RPR005).
 
 Each rule encodes one of the conventions the subset-skyline reproduction
 depends on for *correctness of its reported numbers*, not just style:
@@ -13,6 +13,10 @@ depends on for *correctness of its reported numbers*, not just style:
   algorithm and exports ``__all__``, keeping the registry auditable.
 - **RPR004** — no per-element ``float(arr[i])`` conversions inside
   per-point loops; convert once outside the loop (``.tolist()``).
+- **RPR005** — no direct ``SubsetBoost(...)`` construction outside
+  ``core/`` and ``engine/``; hand-wired boosts bypass the engine's
+  prepared caches and planner, recreating the duplication the engine
+  refactor removed.
 
 Rules are pure functions of a parsed module; suppression is line-level
 ``# noqa: RPRxxx`` (see :mod:`repro.analysis.lint`).
@@ -300,11 +304,48 @@ class NumpyScalarLeak(Rule):
                     )
 
 
+class HandWiredBoost(Rule):
+    """RPR005: direct ``SubsetBoost`` construction outside core/ and engine/."""
+
+    code = "RPR005"
+    name = "hand-wired-boost"
+    severity = Severity.ERROR
+    description = (
+        "direct SubsetBoost(...) construction outside core/ and engine/; "
+        "route the query through repro.engine.SkylineEngine (or the "
+        "registry) so prepared caches, planning and counters stay wired — "
+        "suppress deliberate low-level wiring with `# noqa: RPR005`"
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        path = module.path.resolve().as_posix()
+        if "/repro/core/" in path or "/repro/engine/" in path:
+            return False
+        return super().applies_to(module)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not self.applies_to(module):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _called_name(node.func) == "SubsetBoost"
+            ):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    "SubsetBoost constructed directly — execute through "
+                    "repro.engine.SkylineEngine so Merge results and sort "
+                    "orders come from the prepared caches",
+                )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     UncountedDominance(),
     RawBitmaskSurgery(),
     RegistryHygiene(),
     NumpyScalarLeak(),
+    HandWiredBoost(),
 )
 
 

@@ -429,7 +429,9 @@ def ablation_sigma(cfg: SweepConfig) -> ExperimentReport:
         heuristic = default_threshold(d)
         started = time.perf_counter()
         counter = DominanceCounter()
-        SubsetBoost(SDI(), sigma=tuned.sigma).compute(dataset, counter=counter)
+        SubsetBoost(  # noqa: RPR005 — ablation isolates the raw boost wiring
+            SDI(), sigma=tuned.sigma
+        ).compute(dataset, counter=counter)
         grid["sdi-subset"][f"tuned({tuned.sigma})"] = counter.tests / n
         blocks.append(
             format_paper_table(
@@ -491,7 +493,9 @@ def ablation_container(cfg: SweepConfig) -> ExperimentReport:
                 label = f"{host_name}+merge[{container}]"
                 counter = DominanceCounter()
                 started = time.perf_counter()
-                SubsetBoost(host_cls(), container=container).compute(
+                SubsetBoost(  # noqa: RPR005 — ablation isolates the raw boost wiring
+                    host_cls(), container=container
+                ).compute(
                     dataset, counter=counter
                 )
                 elapsed = (time.perf_counter() - started) * 1000
@@ -532,7 +536,9 @@ def ablation_pivot(cfg: SweepConfig) -> ExperimentReport:
         dataset = generate(kind, n, d, seed=cfg.seed)
         for strategy in PIVOT_STRATEGIES:
             counter = DominanceCounter()
-            SubsetBoost(SDI(), pivot_strategy=strategy).compute(
+            SubsetBoost(  # noqa: RPR005 — ablation isolates the raw boost wiring
+                SDI(), pivot_strategy=strategy
+            ).compute(
                 dataset, counter=counter
             )
             dt.setdefault(f"sdi-subset[{strategy}]", {})[kind] = counter.tests / n

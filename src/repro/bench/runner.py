@@ -5,8 +5,8 @@ from __future__ import annotations
 import time
 from collections.abc import Sequence
 
-from repro.algorithms.registry import get_algorithm
 from repro.dataset import Dataset
+from repro.engine import SkylineEngine
 from repro.stats.counters import DominanceCounter
 from repro.stats.metrics import MetricRow
 
@@ -35,7 +35,8 @@ def run_one(
     algorithm: str,
     sigma: int | None = None,
     repeats: int = 1,
-    **kwargs,
+    engine: SkylineEngine | None = None,
+    **kwargs: object,
 ) -> MetricRow:
     """Run one algorithm on one dataset; elapsed time is the mean of repeats.
 
@@ -43,17 +44,25 @@ def run_one(
     and elapsed processor time is averaged over ``repeats`` runs (the paper
     uses 10).  Dominance tests are deterministic, so they are taken from
     the first run.
+
+    Each repeat executes through a fresh (cold) :class:`SkylineEngine`, so
+    numbers match the paper's one-shot protocol exactly.  Pass a shared
+    ``engine`` to measure the warm, prepared-cache path instead.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
-    instance = get_algorithm(algorithm, sigma=sigma, **kwargs)
+    host_options = kwargs or None
     counter = DominanceCounter()
+    run_engine = engine if engine is not None else SkylineEngine()
     started = time.perf_counter()
-    result = instance.compute(dataset, counter=counter)
+    result = run_engine.execute(
+        dataset, algorithm, sigma, counter=counter, host_options=host_options
+    )
     elapsed = time.perf_counter() - started
     for _ in range(repeats - 1):
+        run_engine = engine if engine is not None else SkylineEngine()
         started = time.perf_counter()
-        instance.compute(dataset)
+        run_engine.execute(dataset, algorithm, sigma, host_options=host_options)
         elapsed += time.perf_counter() - started
     return MetricRow(
         algorithm=algorithm,
@@ -69,10 +78,13 @@ def run_algorithms(
     algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
     sigma: int | None = None,
     repeats: int = 1,
+    engine: SkylineEngine | None = None,
 ) -> list[MetricRow]:
     """Run every named algorithm on ``dataset``; σ applies to boosted names."""
     rows = []
     for name in algorithms:
         row_sigma = sigma if name.endswith("-subset") else None
-        rows.append(run_one(dataset, name, sigma=row_sigma, repeats=repeats))
+        rows.append(
+            run_one(dataset, name, sigma=row_sigma, repeats=repeats, engine=engine)
+        )
     return rows

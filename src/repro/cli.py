@@ -44,7 +44,12 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=0)
 
     run = sub.add_parser("run", help="compute a skyline and print metrics")
-    run.add_argument("--algorithm", "-a", default="sdi-subset")
+    run.add_argument(
+        "--algorithm",
+        "-a",
+        default="sdi-subset",
+        help="registry name, or 'auto' to let the planner choose",
+    )
     run.add_argument("--input", "-i", help="dataset file (.csv or .npy)")
     run.add_argument("--kind", default="UI", help="generator kind when no --input")
     run.add_argument("-n", type=int, default=10_000)
@@ -52,6 +57,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--sigma", type=int, default=None, help="stability threshold")
     run.add_argument("--ids", action="store_true", help="also print skyline row ids")
+    run.add_argument(
+        "--explain", action="store_true", help="print the executed plan"
+    )
 
     sub.add_parser("algorithms", help="list available algorithm names")
 
@@ -111,12 +119,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     dataset = _load_or_generate(args)
-    result = skyline(dataset, algorithm=args.algorithm, sigma=args.sigma)
+    algorithm = None if args.algorithm.lower() == "auto" else args.algorithm
+    result = skyline(dataset, algorithm=algorithm, sigma=args.sigma)
     print(f"dataset    : {dataset.describe()}")
     print(f"algorithm  : {result.algorithm}")
     print(f"skyline    : {result.size} points")
     print(f"mean DT    : {result.mean_dominance_tests:.4f}")
     print(f"elapsed    : {result.elapsed_seconds * 1000:.2f} ms")
+    if args.explain and result.plan is not None:
+        print(result.plan.explain())
     if args.ids:
         print("ids        :", " ".join(str(i) for i in result.indices))
     return 0

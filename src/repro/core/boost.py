@@ -17,12 +17,13 @@ the index starts empty.
 
 from __future__ import annotations
 
+from collections.abc import MutableMapping
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.core.container import SkylineContainer, SubsetContainer
-from repro.core.merge import merge
+from repro.core.container import ListContainer, SkylineContainer, SubsetContainer
+from repro.core.merge import MergeResult, merge
 from repro.core.stability import default_threshold, validate_threshold
 from repro.dataset import Dataset
 from repro.stats.counters import DominanceCounter
@@ -59,6 +60,93 @@ class BoostableHost(Protocol):
         candidate dominators must come from ``container.candidates``.
         """
         ...
+
+
+def run_unboosted_scan(
+    dataset: Dataset,
+    host: BoostableHost,
+    counter: DominanceCounter,
+    sort_cache: MutableMapping[str, object] | None = None,
+) -> list[int]:
+    """Run ``host`` over all rows with a plain list container (no boost).
+
+    The non-boosted reference wiring shared by ``SkylineAlgorithm._run``
+    implementations and the engine's unboosted plans: all ids active, all
+    masks zero, :class:`ListContainer` as the skyline store.
+    """
+    all_ids = np.arange(dataset.cardinality, dtype=np.intp)
+    masks = np.zeros(dataset.cardinality, dtype=np.int64)
+    container = ListContainer(dataset.values)
+    if sort_cache is not None and getattr(host, "supports_sort_cache", False):
+        return host.run_phase(
+            dataset, all_ids, masks, container, counter, sort_cache=sort_cache
+        )
+    return host.run_phase(dataset, all_ids, masks, container, counter)
+
+
+def run_boosted_scan(
+    dataset: Dataset,
+    host: BoostableHost,
+    counter: DominanceCounter,
+    *,
+    sigma: int | None = None,
+    container: str = "subset",
+    pivot_strategy: str = "euclidean",
+    memoize: bool = True,
+    merged: MergeResult | None = None,
+    sort_cache: MutableMapping[str, object] | None = None,
+) -> list[int]:
+    """The subset-boost wiring: Merge, mask scatter, container, host scan.
+
+    This is the single implementation behind :meth:`SubsetBoost._run` and
+    the engine's boosted plans.  ``merged`` lets a caller supply a
+    precomputed Merge result (the warm path of
+    :class:`~repro.engine.prepared.PreparedDataset`); it must have been
+    produced by ``merge(dataset, sigma, ..., pivot_strategy=...)`` with the
+    same arguments, and its dominance tests are *not* re-charged here.
+    ``sort_cache`` is forwarded to hosts that opt in via
+    ``supports_sort_cache`` and must be private to one
+    ``(host-configuration, dataset, merged)`` triple.
+    """
+    d = dataset.dimensionality
+    if d < 2:
+        # No non-trivial subspaces exist; the boost is undefined (the
+        # paper starts at d = 2).  Fall back to the plain host.
+        return run_unboosted_scan(dataset, host, counter, sort_cache)
+    if sigma is None:
+        sigma = default_threshold(d)
+    validate_threshold(sigma, d)
+
+    if merged is None:
+        merged = merge(dataset, sigma, counter, pivot_strategy=pivot_strategy)
+    skyline = merged.initial_skyline_ids
+    if merged.remaining_ids.size == 0:
+        return skyline
+
+    masks = np.zeros(dataset.cardinality, dtype=np.int64)
+    masks[merged.remaining_ids] = merged.masks
+    store: SkylineContainer
+    if container == "subset":
+        store = SubsetContainer(dataset.values, d, counter, memoize=memoize)
+    else:
+        # Ablation mode: identical merge phase, plain list store — this
+        # isolates the contribution of the subset index (Algs. 2-4)
+        # from that of the merge pruning (Alg. 1).
+        store = ListContainer(dataset.values)
+    if sort_cache is not None and getattr(host, "supports_sort_cache", False):
+        scan_skyline = host.run_phase(
+            dataset,
+            merged.remaining_ids,
+            masks,
+            store,
+            counter,
+            sort_cache=sort_cache,
+        )
+    else:
+        scan_skyline = host.run_phase(
+            dataset, merged.remaining_ids, masks, store, counter
+        )
+    return [*skyline, *scan_skyline]
 
 
 class SubsetBoost:
@@ -119,39 +207,12 @@ class SubsetBoost:
         return run_timed(self.name, data, counter, self._run)
 
     def _run(self, dataset: Dataset, counter: DominanceCounter) -> list[int]:
-        d = dataset.dimensionality
-        if d < 2:
-            # No non-trivial subspaces exist; the boost is undefined (the
-            # paper starts at d = 2).  Fall back to the plain host.
-            all_ids = np.arange(dataset.cardinality, dtype=np.intp)
-            masks = np.zeros(dataset.cardinality, dtype=np.int64)
-            from repro.core.container import ListContainer
-
-            return self.host.run_phase(
-                dataset, all_ids, masks, ListContainer(dataset.values), counter
-            )
-        sigma = self.sigma if self.sigma is not None else default_threshold(d)
-        validate_threshold(sigma, d)
-
-        merged = merge(dataset, sigma, counter, pivot_strategy=self.pivot_strategy)
-        skyline = merged.initial_skyline_ids
-        if merged.remaining_ids.size == 0:
-            return skyline
-
-        masks = np.zeros(dataset.cardinality, dtype=np.int64)
-        masks[merged.remaining_ids] = merged.masks
-        if self.container == "subset":
-            container: SkylineContainer = SubsetContainer(
-                dataset.values, d, counter, memoize=self.memoize
-            )
-        else:
-            # Ablation mode: identical merge phase, plain list store — this
-            # isolates the contribution of the subset index (Algs. 2-4)
-            # from that of the merge pruning (Alg. 1).
-            from repro.core.container import ListContainer
-
-            container = ListContainer(dataset.values)
-        scan_skyline = self.host.run_phase(
-            dataset, merged.remaining_ids, masks, container, counter
+        return run_boosted_scan(
+            dataset,
+            self.host,
+            counter,
+            sigma=self.sigma,
+            container=self.container,
+            pivot_strategy=self.pivot_strategy,
+            memoize=self.memoize,
         )
-        return [*skyline, *scan_skyline]

@@ -1,0 +1,28 @@
+"""The planned, session-oriented execution layer.
+
+``prepare -> plan -> execute -> report``: a
+:class:`~repro.engine.prepared.PreparedDataset` normalizes a dataset once
+and caches Merge results, sort orders, subspace views and estimator
+statistics; a :class:`~repro.engine.planner.Planner` turns those statistics
+into an inspectable :class:`~repro.engine.plan.Plan`; a
+:class:`~repro.engine.engine.SkylineEngine` executes plans with session
+state from an :class:`~repro.engine.context.ExecutionContext`.  Every
+high-level entry point (``SkylineQuery``, the CLI, the bench runner, the
+extensions) routes through this layer; the low-level algorithm APIs remain
+as thin wrappers.
+"""
+
+from repro.engine.context import ExecutionContext
+from repro.engine.engine import SkylineEngine
+from repro.engine.plan import Plan
+from repro.engine.planner import Planner
+from repro.engine.prepared import DatasetStatistics, PreparedDataset
+
+__all__ = [
+    "DatasetStatistics",
+    "ExecutionContext",
+    "Plan",
+    "Planner",
+    "PreparedDataset",
+    "SkylineEngine",
+]

@@ -1,0 +1,146 @@
+"""``ExecutionContext`` — session state threaded through engine runs.
+
+One context owns the state that repeated queries amortize: the registry of
+:class:`~repro.engine.prepared.PreparedDataset` objects (keyed by dataset
+identity, FIFO-bounded), the session-wide aggregate
+:class:`~repro.stats.counters.DominanceCounter`, and the lazily created
+PR-2 :class:`~repro.extensions.parallel.SkylineWorkerPool` for
+block-parallel plans.  The engine asks the context for a fresh per-run
+counter, executes, then records the run back so the session totals — tests,
+index traffic, prepared-cache hit rates — accumulate in one place.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.dataset import Dataset, as_dataset
+from repro.engine.prepared import PreparedDataset
+from repro.errors import InvalidParameterError
+from repro.stats.counters import DominanceCounter
+
+if TYPE_CHECKING:
+    from repro.extensions.parallel import SkylineWorkerPool
+
+__all__ = ["ExecutionContext"]
+
+#: Prepared datasets kept per context before FIFO eviction.  Each prepared
+#: dataset pins its source array plus O(n) caches, so the registry is
+#: deliberately small — sessions typically hammer one or two datasets.
+_MAX_PREPARED = 8
+
+
+class ExecutionContext:
+    """Holds and hands out the state one skyline session shares.
+
+    Parameters
+    ----------
+    max_prepared:
+        Distinct datasets kept prepared before FIFO eviction.
+    workers:
+        Default worker count for the lazily created process pool.
+
+    Attributes
+    ----------
+    counter:
+        Session-wide aggregate counter; every recorded run's tallies are
+        absorbed into it.
+    """
+
+    def __init__(
+        self, max_prepared: int = _MAX_PREPARED, workers: int | None = None
+    ) -> None:
+        if max_prepared < 1:
+            raise InvalidParameterError(
+                f"max_prepared must be >= 1, got {max_prepared}"
+            )
+        self.counter = DominanceCounter()
+        self.runs_recorded = 0
+        self._max_prepared = max_prepared
+        self._workers = workers
+        self._prepared: dict[int, PreparedDataset] = {}
+        self._pool: "SkylineWorkerPool | None" = None
+        self._owns_pool = False
+
+    # -- prepared-dataset registry ------------------------------------------
+
+    def prepare(self, data: Dataset | PreparedDataset | np.ndarray) -> PreparedDataset:
+        """The :class:`PreparedDataset` for ``data``, preparing on first use.
+
+        Keyed by the identity of the dataset's value array (datasets are
+        immutable), so repeated calls with the same dataset — or with the
+        prepared object itself — return the same caches.  The registry
+        holds strong references; evicted entries simply lose their caches.
+        """
+        if isinstance(data, PreparedDataset):
+            return data
+        dataset = as_dataset(data)
+        key = id(dataset.values)
+        prepared = self._prepared.get(key)
+        if prepared is not None:
+            return prepared
+        prepared = PreparedDataset(dataset)
+        while len(self._prepared) >= self._max_prepared:
+            del self._prepared[next(iter(self._prepared))]
+        self._prepared[key] = prepared
+        return prepared
+
+    @property
+    def prepared_count(self) -> int:
+        """Number of datasets currently held prepared."""
+        return len(self._prepared)
+
+    # -- counters -----------------------------------------------------------
+
+    def run_counter(self, counter: DominanceCounter | None = None) -> DominanceCounter:
+        """The per-run counter: the caller's if given, else a fresh one."""
+        return counter if counter is not None else DominanceCounter()
+
+    def record(self, counter: DominanceCounter) -> None:
+        """Absorb one run's tallies into the session aggregate."""
+        self.counter.absorb(counter)
+        self.runs_recorded += 1
+
+    # -- worker pool --------------------------------------------------------
+
+    @property
+    def pool(self) -> "SkylineWorkerPool":
+        """The context's process pool, created lazily on first access.
+
+        Uses the process-wide shared pool (so contexts compose with other
+        pool users) unless a worker count was pinned at construction, in
+        which case the context owns a private pool and closes it.
+        """
+        if self._pool is None:
+            from repro.extensions.parallel import SkylineWorkerPool, get_pool
+
+            if self._workers is None:
+                self._pool = get_pool()
+            else:
+                self._pool = SkylineWorkerPool(self._workers)
+                self._owns_pool = True
+        return self._pool
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the prepared registry and any privately owned pool."""
+        self._prepared.clear()
+        if self._pool is not None and self._owns_pool:
+            self._pool.close()
+        self._pool = None
+        self._owns_pool = False
+
+    def __enter__(self) -> "ExecutionContext":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionContext(prepared={self.prepared_count}, "
+            f"runs={self.runs_recorded}, tests={self.counter.tests})"
+        )

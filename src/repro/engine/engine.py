@@ -1,0 +1,188 @@
+"""``SkylineEngine`` — the planned execution façade for every entry point.
+
+The engine ties the layer stack together: *prepare* the dataset once
+(:class:`~repro.engine.prepared.PreparedDataset`), *plan* each query
+(:class:`~repro.engine.planner.Planner`), *execute* through the shared
+boost wiring (:func:`~repro.core.boost.run_boosted_scan`) with session
+state from :class:`~repro.engine.context.ExecutionContext`, and *report* a
+standard :class:`~repro.algorithms.base.SkylineResult` carrying both the
+full counter and the chosen :class:`~repro.engine.plan.Plan`.
+
+Equivalence contract: a pinned plan executed on a cold context performs the
+exact sequence of dominance tests the direct
+:func:`~repro.algorithms.registry.get_algorithm` call performs — same
+skyline ids, same charged test count.  Warm executions reuse prepared
+artefacts (Merge results, sort orders); the skyline is unchanged and the
+saving is visible as ``prepared_cache_hits`` on the counter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import replace
+
+import numpy as np
+
+from repro.algorithms.base import SkylineResult, run_timed
+from repro.algorithms.registry import get_algorithm
+from repro.core.boost import BoostableHost, run_boosted_scan, run_unboosted_scan
+from repro.dataset import Dataset, as_dataset
+from repro.engine.context import ExecutionContext
+from repro.engine.plan import Plan
+from repro.engine.planner import Planner
+from repro.engine.prepared import PreparedDataset
+from repro.stats.counters import DominanceCounter
+
+__all__ = ["SkylineEngine"]
+
+
+class SkylineEngine:
+    """Plans and executes skyline queries over prepared datasets.
+
+    Parameters
+    ----------
+    context:
+        Session state (prepared registry, aggregate counter, worker pool);
+        a private one is created when omitted.
+    planner:
+        The plan selector; defaults to a non-autotuning :class:`Planner`.
+
+    >>> from repro.data import generate
+    >>> engine = SkylineEngine()
+    >>> result = engine.execute(generate("UI", n=400, d=4, seed=1), "sfs-subset")
+    >>> result.algorithm
+    'sfs-subset'
+    >>> result.plan.boosted
+    True
+    """
+
+    def __init__(
+        self,
+        context: ExecutionContext | None = None,
+        planner: Planner | None = None,
+    ) -> None:
+        self.context = context if context is not None else ExecutionContext()
+        self.planner = planner if planner is not None else Planner()
+
+    def prepare(
+        self, data: Dataset | PreparedDataset | np.ndarray
+    ) -> PreparedDataset:
+        """Prepare (or fetch the prepared form of) ``data``."""
+        return self.context.prepare(data)
+
+    def plan(
+        self,
+        data: Dataset | PreparedDataset | np.ndarray,
+        algorithm: str | None = None,
+        sigma: int | None = None,
+        **options: object,
+    ) -> Plan:
+        """Plan a query without executing it (``EXPLAIN`` mode)."""
+        prepared = self.prepare(data)
+        return self.planner.plan(prepared, algorithm, sigma, **options)  # type: ignore[arg-type]
+
+    def execute(
+        self,
+        data: Dataset | PreparedDataset | np.ndarray,
+        algorithm: str | None = None,
+        sigma: int | None = None,
+        counter: DominanceCounter | None = None,
+        *,
+        plan: Plan | None = None,
+        container: str = "subset",
+        pivot_strategy: str = "euclidean",
+        memoize: bool = True,
+        workers: int = 1,
+        host_options: Mapping[str, object] | None = None,
+    ) -> SkylineResult:
+        """Plan (unless ``plan`` is given) and execute one skyline query.
+
+        ``algorithm=None`` selects adaptively from dataset statistics; a
+        registry name pins the exact direct-call wiring.  The returned
+        result's ``counter`` is the per-run counter (the caller's, if
+        provided) and ``result.plan`` is the executed plan; the run is also
+        absorbed into ``context.counter``.
+        """
+        prepared = self.prepare(data)
+        run_counter = self.context.run_counter(counter)
+        if plan is None:
+            plan = self.planner.plan(
+                prepared,
+                algorithm,
+                sigma,
+                container=container,
+                pivot_strategy=pivot_strategy,
+                memoize=memoize,
+                workers=workers,
+                host_options=host_options,
+                counter=run_counter,
+            )
+
+        def body(dataset: Dataset, body_counter: DominanceCounter) -> list[int]:
+            return self._run_plan(prepared, plan, dataset, body_counter)
+
+        result = run_timed(plan.label, prepared.dataset, run_counter, body)
+        result = replace(result, plan=plan)
+        self.context.record(run_counter)
+        return result
+
+    # -- plan execution -----------------------------------------------------
+
+    def _run_plan(
+        self,
+        prepared: PreparedDataset,
+        plan: Plan,
+        dataset: Dataset,
+        counter: DominanceCounter,
+    ) -> list[int]:
+        if plan.workers > 1:
+            # Block-parallel path: lazy import keeps engine -> extensions
+            # off the module import graph (extensions import the engine).
+            from repro.extensions.parallel import parallel_skyline
+
+            indices = parallel_skyline(
+                dataset,
+                workers=plan.workers,
+                algorithm=plan.label,
+                counter=counter,
+                pool=self.context.pool,
+            )
+            return [int(i) for i in indices]
+
+        host = get_algorithm(plan.algorithm, **dict(plan.host_options))  # type: ignore[arg-type]
+        sort_cache = prepared.sort_cache(plan.sort_cache_key)
+        if plan.boosted:
+            merged = (
+                prepared.merged(plan.sigma, plan.pivot_strategy, counter)
+                if dataset.dimensionality >= 2
+                else None
+            )
+            return run_boosted_scan(
+                dataset,
+                host,  # type: ignore[arg-type]
+                counter,
+                sigma=plan.sigma,
+                container=plan.container,
+                pivot_strategy=plan.pivot_strategy,
+                memoize=plan.memoize,
+                merged=merged,
+                sort_cache=sort_cache,
+            )
+        if isinstance(host, BoostableHost):
+            return run_unboosted_scan(dataset, host, counter, sort_cache)
+        # Non-phase algorithms (BNL, BBS, D&C, ...) have no cacheable sort
+        # phase; run their private body under the engine's timer.
+        return host._run(dataset, counter)  # noqa: SLF001
+
+    def close(self) -> None:
+        """Release the context's session state."""
+        self.context.close()
+
+    def __enter__(self) -> "SkylineEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"SkylineEngine(context={self.context!r})"

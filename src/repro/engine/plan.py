@@ -1,0 +1,113 @@
+"""``Plan`` — the inspectable outcome of planning one skyline query.
+
+A plan is to the skyline operator what ``EXPLAIN`` output is to a SQL
+query: which host algorithm runs, whether the subset boost wraps it, which
+container backs the scan, the stability threshold σ, and the execution
+knobs (memoization, batching, worker count) — plus the signals and reasons
+that led there.  Plans are immutable and comparable, so planner
+determinism is testable as plain equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Plan"]
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An executable description of one skyline computation.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry name of the host algorithm (``"sfs"``, ``"salsa"``, ...).
+    boosted:
+        Whether the subset approach (Merge + subset container) wraps the
+        host.
+    sigma:
+        Stability threshold for the Merge pass; ``None`` when not boosted.
+    container:
+        Skyline store for the boosted scan: ``"subset"`` or ``"list"``.
+    pivot_strategy:
+        Merge pivot selection strategy.
+    memoize:
+        Whether the subset index's per-subspace caches are enabled.
+    workers:
+        Process count for block-parallel execution; ``1`` is sequential.
+    adaptive:
+        ``True`` when the planner chose the algorithm from dataset
+        statistics; ``False`` when the caller pinned it (the mode with
+        dominance-test parity guarantees versus direct calls).
+    host_options:
+        Constructor keyword arguments for the host, as sorted pairs.
+    signals:
+        The ``(name, value)`` estimator signals the decision consumed.
+    reasons:
+        Human-readable justification, one clause per decision.
+    """
+
+    algorithm: str
+    boosted: bool = False
+    sigma: int | None = None
+    container: str = "subset"
+    pivot_strategy: str = "euclidean"
+    memoize: bool = True
+    workers: int = 1
+    adaptive: bool = False
+    host_options: tuple[tuple[str, object], ...] = ()
+    signals: tuple[tuple[str, float], ...] = field(default=(), compare=True)
+    reasons: tuple[str, ...] = ()
+
+    @property
+    def label(self) -> str:
+        """The registry-style name of the planned execution.
+
+        Matches the names direct calls produce (``"sfs"``,
+        ``"sfs-subset"``), so results are comparable across paths.
+        """
+        return f"{self.algorithm}-subset" if self.boosted else self.algorithm
+
+    @property
+    def sort_cache_key(self) -> str:
+        """The :meth:`PreparedDataset.sort_cache` key for this plan.
+
+        Encodes everything that changes the scanned id set or the scan
+        order: host name and options, boost mode, σ and pivot strategy
+        (these determine ``remaining_ids``).  The container and memoization
+        flags deliberately do not appear — they change neither.
+        """
+        options = ",".join(f"{k}={v!r}" for k, v in self.host_options)
+        if self.boosted:
+            return (
+                f"{self.algorithm}({options})|boosted"
+                f"|σ{self.sigma}|{self.pivot_strategy}"
+            )
+        return f"{self.algorithm}({options})|plain"
+
+    def explain(self) -> str:
+        """A multi-line, ``EXPLAIN``-style description of the plan."""
+        mode = "adaptive" if self.adaptive else "pinned"
+        lines = [f"Plan: {self.label}  [{mode}]"]
+        if self.boosted:
+            lines.append(
+                f"  boost: merge(σ={self.sigma}, pivots={self.pivot_strategy})"
+                f" -> {self.container} container"
+                f" (memoize={'on' if self.memoize else 'off'})"
+            )
+        else:
+            lines.append("  boost: off (plain list container)")
+        if self.host_options:
+            options = ", ".join(f"{k}={v!r}" for k, v in self.host_options)
+            lines.append(f"  host options: {options}")
+        lines.append(
+            "  execution: "
+            + (f"parallel x{self.workers}" if self.workers > 1 else "sequential")
+        )
+        if self.signals:
+            rendered = ", ".join(f"{name}={value:g}" for name, value in self.signals)
+            lines.append(f"  signals: {rendered}")
+        for reason in self.reasons:
+            lines.append(f"  - {reason}")
+        return "\n".join(lines)

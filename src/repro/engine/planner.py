@@ -1,0 +1,287 @@
+"""``Planner`` — cost-based algorithm and container selection.
+
+The survey literature (Kalyvas & Tzouramanis, arXiv:1704.01788) and the
+SDI framework paper (Liu, arXiv:1908.04083) both observe that no single
+skyline algorithm wins across data regimes: stop-point scans (SaLSa)
+dominate on correlated data, index-filtered scans on anti-correlated and
+high-dimensional data, and plain scans on inputs too small to repay any
+setup.  The planner encodes those regime boundaries over the estimator
+signals of :meth:`~repro.engine.prepared.PreparedDataset.statistics` —
+cardinality, dimensionality, the pairwise correlation signal and the
+expected skyline size — and emits an inspectable
+:class:`~repro.engine.plan.Plan`.
+
+Two modes:
+
+- **pinned** (``algorithm`` given): the caller's choice is honoured
+  exactly; the emitted plan reproduces the direct
+  :func:`~repro.algorithms.registry.get_algorithm` wiring bit-for-bit,
+  including dominance-test accounting.  This is the compatibility mode
+  every refactored call site uses by default.
+- **adaptive** (``algorithm=None``): the planner selects host, boost and σ
+  from the dataset statistics.  Decisions are pure functions of the
+  statistics (plus the seeded sigma autotuner when enabled), so the same
+  dataset and seed always produce the identical plan.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.algorithms.registry import available_algorithms
+from repro.core.stability import default_threshold, validate_threshold
+from repro.engine.plan import Plan
+from repro.engine.prepared import DatasetStatistics, PreparedDataset
+from repro.errors import InvalidParameterError, UnknownAlgorithmError
+from repro.stats.counters import DominanceCounter
+
+__all__ = ["Planner"]
+
+#: Correlation above which the stop point of a sort-and-limit scan is
+#: expected to terminate the scan almost immediately (Table 8's regime),
+#: making the Merge pass pure overhead.
+_CORRELATED_CUTOFF = 0.35
+
+#: Correlation below which the skyline is large enough that subset-index
+#: filtering (and SDI's per-dimension traversal) pays off at any d.
+_ANTI_CORRELATED_CUTOFF = -0.2
+
+#: Below this cardinality no preprocessing is worth its setup cost.
+_SMALL_N = 600
+
+#: From this dimensionality upward SDI's dimension-indexed traversal beats
+#: the entropy-sorted scan as the boosted host (Tables 4-7).
+_HIGH_D = 5
+
+
+class Planner:
+    """Chooses algorithm, container and execution mode for one query.
+
+    Parameters
+    ----------
+    autotune:
+        Select σ with :func:`~repro.core.autotune.tune_sigma` on a seeded
+        sample instead of the paper's ``round(d/3)`` default.  Off by
+        default — it spends sample runs to pick σ, which only pays off
+        for sessions with many queries against the same preparation.
+    sample_size:
+        Sample rows for the autotuner.
+    seed:
+        Autotuner sampling seed; part of the determinism contract.
+    """
+
+    def __init__(
+        self,
+        autotune: bool = False,
+        sample_size: int = 2000,
+        seed: int = 0,
+    ) -> None:
+        self.autotune = autotune
+        self.sample_size = sample_size
+        self.seed = seed
+
+    def plan(
+        self,
+        prepared: PreparedDataset,
+        algorithm: str | None = None,
+        sigma: int | None = None,
+        *,
+        container: str = "subset",
+        pivot_strategy: str = "euclidean",
+        memoize: bool = True,
+        workers: int = 1,
+        host_options: Mapping[str, object] | None = None,
+        counter: DominanceCounter | None = None,
+    ) -> Plan:
+        """Emit the :class:`Plan` for one query over ``prepared``.
+
+        ``algorithm`` pins a registry name (``"sfs"``, ``"sdi-subset"``,
+        ...); ``None`` selects adaptively from the dataset statistics.
+        ``workers > 1`` requests block-parallel execution (pinned plans
+        only honour it as given; the planner never turns it on itself).
+        """
+        if workers < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        if container not in ("subset", "list"):
+            raise InvalidParameterError(
+                f"container must be 'subset' or 'list', got {container!r}"
+            )
+        options = tuple(sorted((host_options or {}).items()))
+        if algorithm is not None:
+            return self._pinned(
+                prepared,
+                algorithm,
+                sigma,
+                container=container,
+                pivot_strategy=pivot_strategy,
+                memoize=memoize,
+                workers=workers,
+                host_options=options,
+            )
+        return self._adaptive(
+            prepared,
+            sigma,
+            container=container,
+            pivot_strategy=pivot_strategy,
+            memoize=memoize,
+            workers=workers,
+            host_options=options,
+            counter=counter,
+        )
+
+    # -- pinned mode --------------------------------------------------------
+
+    def _pinned(
+        self,
+        prepared: PreparedDataset,
+        algorithm: str,
+        sigma: int | None,
+        *,
+        container: str,
+        pivot_strategy: str,
+        memoize: bool,
+        workers: int,
+        host_options: tuple[tuple[str, object], ...],
+    ) -> Plan:
+        key = algorithm.lower()
+        if key not in available_algorithms():
+            raise UnknownAlgorithmError(
+                f"unknown algorithm {algorithm!r}; available: {available_algorithms()}"
+            )
+        boosted = key.endswith("-subset")
+        host = key.removesuffix("-subset") if boosted else key
+        if boosted:
+            d = prepared.dimensionality
+            if d < 2:
+                # The boost falls back to the plain host below d=2; no σ to
+                # resolve (default_threshold is undefined there).
+                resolved = sigma
+            else:
+                resolved = sigma if sigma is not None else default_threshold(d)
+                validate_threshold(resolved, d)
+        else:
+            if sigma is not None:
+                raise InvalidParameterError(
+                    f"sigma is only meaningful for '-subset' algorithms, got {key!r}"
+                )
+            resolved = None
+        return Plan(
+            algorithm=host,
+            boosted=boosted,
+            sigma=resolved,
+            container=container,
+            pivot_strategy=pivot_strategy,
+            memoize=memoize,
+            workers=workers,
+            adaptive=False,
+            host_options=host_options,
+            reasons=(f"algorithm pinned by caller: {key}",),
+        )
+
+    # -- adaptive mode ------------------------------------------------------
+
+    def _adaptive(
+        self,
+        prepared: PreparedDataset,
+        sigma: int | None,
+        *,
+        container: str,
+        pivot_strategy: str,
+        memoize: bool,
+        workers: int,
+        host_options: tuple[tuple[str, object], ...],
+        counter: DominanceCounter | None,
+    ) -> Plan:
+        stats = prepared.statistics(counter)
+        signals = (
+            ("n", float(stats.cardinality)),
+            ("d", float(stats.dimensionality)),
+            ("correlation", stats.correlation),
+            ("expected_skyline", stats.expected_skyline),
+        )
+        reasons: list[str] = []
+
+        host, boosted = self._select_host(stats, reasons)
+        resolved_sigma: int | None = None
+        if boosted:
+            resolved_sigma = self._select_sigma(prepared, host, sigma, reasons)
+
+        return Plan(
+            algorithm=host,
+            boosted=boosted,
+            sigma=resolved_sigma,
+            container=container,
+            pivot_strategy=pivot_strategy,
+            memoize=memoize,
+            workers=workers,
+            adaptive=True,
+            host_options=host_options,
+            signals=signals,
+            reasons=tuple(reasons),
+        )
+
+    @staticmethod
+    def _select_host(
+        stats: DatasetStatistics, reasons: list[str]
+    ) -> tuple[str, bool]:
+        if stats.dimensionality < 2:
+            reasons.append("d < 2: no non-trivial subspaces, boost undefined")
+            return "sfs", False
+        if stats.correlation >= _CORRELATED_CUTOFF:
+            reasons.append(
+                f"correlation {stats.correlation:.2f} >= {_CORRELATED_CUTOFF}: "
+                "correlated regime, SaLSa's stop point ends the scan early"
+            )
+            return "salsa", False
+        if stats.cardinality < _SMALL_N:
+            reasons.append(
+                f"n={stats.cardinality} < {_SMALL_N}: "
+                "input too small to repay Merge preprocessing"
+            )
+            return "sfs", False
+        if (
+            stats.dimensionality >= _HIGH_D
+            or stats.correlation <= _ANTI_CORRELATED_CUTOFF
+        ):
+            reasons.append(
+                f"d={stats.dimensionality}, correlation {stats.correlation:.2f}: "
+                "large skyline expected, boosted SDI's indexed prefix tests win"
+            )
+            return "sdi", True
+        reasons.append(
+            "moderate d and independent dimensions: boosted entropy-sorted scan"
+        )
+        return "sfs", True
+
+    def _select_sigma(
+        self,
+        prepared: PreparedDataset,
+        host: str,
+        sigma: int | None,
+        reasons: list[str],
+    ) -> int:
+        d = prepared.dimensionality
+        if sigma is not None:
+            validate_threshold(sigma, d)
+            reasons.append(f"σ={sigma} pinned by caller")
+            return sigma
+        if self.autotune:
+            # Imported lazily: autotune drags in the full boost pipeline.
+            from repro.algorithms.registry import get_algorithm
+            from repro.core.autotune import tune_sigma
+
+            host_algorithm = get_algorithm(host)
+            choice = tune_sigma(
+                prepared.dataset,
+                host_algorithm,  # type: ignore[arg-type]
+                sample_size=self.sample_size,
+                seed=self.seed,
+            )
+            reasons.append(
+                f"σ={choice.sigma} autotuned on a {choice.sample_size}-row sample "
+                f"(seed={self.seed})"
+            )
+            return choice.sigma
+        resolved = default_threshold(d)
+        reasons.append(f"σ={resolved} from the paper's round(d/3) heuristic")
+        return resolved

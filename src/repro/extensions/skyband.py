@@ -21,6 +21,8 @@ so counting dominators within the current skyband is exact.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.dataset import Dataset, as_dataset
@@ -28,6 +30,9 @@ from repro.dominance import dominance_mask, dominating_subspaces
 from repro.errors import InvalidParameterError
 from repro.stats.counters import DominanceCounter
 from repro.structures import bitset
+
+if TYPE_CHECKING:
+    from repro.engine import SkylineEngine
 
 
 def _count_dominators_capped(
@@ -55,12 +60,35 @@ def _count_dominators_capped(
     return cap
 
 
+def anchor_masks(
+    dataset: Dataset, counter: DominanceCounter
+) -> np.ndarray:
+    """Per-point incomparability masks against the distance-minimal anchor.
+
+    One dominating-subspace computation per point is charged.  The masks
+    are a pure function of the dataset, so engine-aware callers cache them
+    via :meth:`~repro.engine.prepared.PreparedDataset.artefact`.
+    """
+    values = dataset.values
+    corner = values.min(axis=0)
+    shifted = values - corner
+    anchor = int(np.argmin(np.einsum("ij,ij->i", shifted, shifted)))
+    return dominating_subspaces(values, values[anchor], counter)
+
+
 def skyband(
     data: Dataset | np.ndarray,
     k: int,
     counter: DominanceCounter | None = None,
+    engine: "SkylineEngine | None" = None,
 ) -> dict[int, int]:
     """The k-skyband: point id → exact dominator count (< ``k``).
+
+    With a shared ``engine``, the anchor-mask preprocessing (one
+    dominating-subspace test per point) is computed once per dataset and
+    served from the prepared cache on repeated calls — e.g. the skyband
+    pass inside :func:`~repro.extensions.topk.top_k_dominating` followed by
+    a direct skyband query.
 
     >>> import numpy as np
     >>> band = skyband(np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]]), k=2)
@@ -75,10 +103,15 @@ def skyband(
     n, d = values.shape
 
     # Anchor masks: valid incomparability filters for any reference point.
-    corner = values.min(axis=0)
-    shifted = values - corner
-    anchor = int(np.argmin(np.einsum("ij,ij->i", shifted, shifted)))
-    masks = dominating_subspaces(values, values[anchor], counter)
+    if engine is not None:
+        run_counter = counter
+        masks = engine.prepare(dataset).artefact(
+            "skyband-anchor-masks",
+            lambda: anchor_masks(dataset, run_counter),
+            counter,
+        )
+    else:
+        masks = anchor_masks(dataset, counter)
 
     order = np.lexsort((np.arange(n), values.sum(axis=1)))
     band: dict[int, int] = {}
@@ -102,6 +135,7 @@ def skyband_ids(
     data: Dataset | np.ndarray,
     k: int,
     counter: DominanceCounter | None = None,
+    engine: "SkylineEngine | None" = None,
 ) -> list[int]:
     """Sorted ids of the k-skyband members."""
-    return sorted(skyband(data, k, counter))
+    return sorted(skyband(data, k, counter, engine=engine))

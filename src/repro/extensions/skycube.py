@@ -21,8 +21,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.algorithms.registry import get_algorithm
 from repro.dataset import Dataset, as_dataset
+from repro.engine import SkylineEngine
 from repro.errors import InvalidParameterError
 from repro.stats.counters import DominanceCounter
 from repro.structures import bitset
@@ -35,8 +35,14 @@ def subspace_skyline(
     dims: Sequence[int],
     algorithm: str = "sfs",
     counter: DominanceCounter | None = None,
+    engine: SkylineEngine | None = None,
 ) -> np.ndarray:
     """Skyline row ids of ``data`` projected onto 0-based dimensions ``dims``.
+
+    With a shared ``engine``, the projected view and its Merge/sort
+    artefacts are cached per subspace, so repeated queries over the same
+    dimension set reuse the preprocessing (hits are recorded on
+    ``counter``).
 
     >>> import numpy as np
     >>> pts = np.array([[1.0, 9.0], [2.0, 1.0], [3.0, 3.0]])
@@ -51,12 +57,9 @@ def subspace_skyline(
         raise InvalidParameterError(
             f"dimensions {dims} outside [0, {dataset.dimensionality})"
         )
-    projected = Dataset(
-        dataset.values[:, dims],
-        name=f"{dataset.name}[dims={dims}]",
-        kind=dataset.kind,
-    )
-    result = get_algorithm(algorithm).compute(projected, counter=counter)
+    engine = engine if engine is not None else SkylineEngine()
+    view = engine.prepare(dataset).view(dims, counter=counter)
+    result = engine.execute(view, algorithm, counter=counter)
     return result.indices
 
 
@@ -76,6 +79,7 @@ class Skycube:
         data: Dataset | np.ndarray,
         algorithm: str = "sfs",
         counter: DominanceCounter | None = None,
+        engine: SkylineEngine | None = None,
     ) -> None:
         dataset = as_dataset(data)
         d = dataset.dimensionality
@@ -87,10 +91,18 @@ class Skycube:
         self._dataset = dataset
         self._counter = counter if counter is not None else DominanceCounter()
         self._cuboids: dict[int, np.ndarray] = {}
+        # One engine for the whole cube: every cuboid's view, Merge result
+        # and sort order lands in the same prepared caches, so later
+        # queries over any subspace (or a rebuild) are warm.
+        engine = engine if engine is not None else SkylineEngine()
         for mask in range(1, 1 << d):
             dims = bitset.to_dims(mask)
             self._cuboids[mask] = subspace_skyline(
-                dataset, dims, algorithm=algorithm, counter=self._counter
+                dataset,
+                dims,
+                algorithm=algorithm,
+                counter=self._counter,
+                engine=engine,
             )
 
     @property

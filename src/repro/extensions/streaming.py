@@ -26,6 +26,7 @@ a promoted point immediately shields the points it dominates).
 from __future__ import annotations
 
 from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -34,6 +35,10 @@ from repro.dominance import first_dominator
 from repro.errors import DimensionMismatchError, InvalidParameterError
 from repro.stats.counters import DominanceCounter
 from repro.structures import bitset
+
+if TYPE_CHECKING:
+    from repro.dataset import Dataset
+    from repro.engine import SkylineEngine
 
 
 class StreamingSkyline:
@@ -73,6 +78,61 @@ class StreamingSkyline:
         self._sky: set[int] = set()
         self._buffer: set[int] = set()
         self._next_id = 0
+
+    @classmethod
+    def from_dataset(
+        cls,
+        data: "Dataset | np.ndarray",
+        anchors: int = 8,
+        counter: DominanceCounter | None = None,
+        engine: "SkylineEngine | None" = None,
+        algorithm: str | None = None,
+    ) -> "StreamingSkyline":
+        """Bulk-load a dataset as the stream's prefix, batch-computed.
+
+        Equivalent end state to inserting every row in order — row ``i``
+        gets stream id ``i``, the first ``min(anchors, n)`` rows become the
+        anchor set, and skyline/buffer membership matches — but the initial
+        skyline is computed through the engine's planned batch pipeline and
+        the anchor masks in one vectorised pass, instead of ``n`` index
+        probes.
+
+        ``algorithm`` pins the batch algorithm (``None`` = planner's
+        choice); ``engine`` shares prepared caches with other engine users.
+        """
+        from repro.dataset import as_dataset
+        from repro.engine import SkylineEngine
+
+        dataset = as_dataset(data)
+        stream = cls(dataset.dimensionality, anchors=anchors, counter=counter)
+        values = dataset.values
+        n = dataset.cardinality
+        stream._anchor_rows = [values[i].copy() for i in range(min(anchors, n))]
+        anchor_block = np.stack(stream._anchor_rows)
+
+        # Vectorised _mask_of over all rows: one dominating-subspace
+        # evaluation per (row, anchor) pair, charged as the sequential
+        # loader's final mask computation would be.
+        stream._counter.add(n * anchor_block.shape[0])
+        beats_some_anchor = (values[:, None, :] < anchor_block[None, :, :]).any(axis=1)
+        mask_values = beats_some_anchor @ (
+            np.int64(1) << np.arange(dataset.dimensionality, dtype=np.int64)
+        )
+
+        run_engine = engine if engine is not None else SkylineEngine()
+        result = run_engine.execute(dataset, algorithm, counter=stream._counter)
+        skyline_ids = set(int(i) for i in result.indices)
+
+        for point_id in range(n):
+            stream._points[point_id] = values[point_id].copy()
+            stream._masks[point_id] = int(mask_values[point_id])
+            if point_id in skyline_ids:
+                stream._sky.add(point_id)
+                stream._index.put(point_id, stream._masks[point_id])
+            else:
+                stream._buffer.add(point_id)
+        stream._next_id = n
+        return stream
 
     @property
     def dimensionality(self) -> int:

@@ -16,12 +16,17 @@ members — exact counts, one vectorised pass per candidate.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.dataset import Dataset, as_dataset
 from repro.errors import InvalidParameterError
 from repro.extensions.skyband import skyband
 from repro.stats.counters import DominanceCounter
+
+if TYPE_CHECKING:
+    from repro.engine import SkylineEngine
 
 
 def dominance_score(
@@ -47,12 +52,14 @@ def top_k_dominating(
     data: Dataset | np.ndarray,
     k: int,
     counter: DominanceCounter | None = None,
+    engine: "SkylineEngine | None" = None,
 ) -> list[tuple[int, int]]:
     """The ``k`` points with the highest dominance scores.
 
     Returns ``(point_id, score)`` pairs sorted by descending score, ties
     broken by ascending id.  Fewer than ``k`` pairs are returned only when
-    the dataset is smaller than ``k``.
+    the dataset is smaller than ``k``.  A shared ``engine`` lets the
+    underlying skyband pass reuse its cached anchor-mask preprocessing.
 
     >>> import numpy as np
     >>> pts = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0], [0.5, 9.0]])
@@ -64,7 +71,7 @@ def top_k_dominating(
         raise InvalidParameterError(f"k must be >= 1, got {k}")
     counter = counter if counter is not None else DominanceCounter()
     k = min(k, dataset.cardinality)
-    candidates = sorted(skyband(dataset, k, counter))
+    candidates = sorted(skyband(dataset, k, counter, engine=engine))
     scored = [
         (point_id, dominance_score(dataset, point_id, counter))
         for point_id in candidates

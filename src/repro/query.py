@@ -25,13 +25,13 @@ any registered algorithm.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.algorithms.base import SkylineResult
-from repro.algorithms.registry import get_algorithm
 from repro.dataset import Dataset, as_dataset
+from repro.engine import SkylineEngine
 from repro.errors import InvalidParameterError
 from repro.stats.counters import DominanceCounter
 
@@ -86,14 +86,23 @@ class SkylineQuery:
     def execute(
         self,
         data: Dataset | np.ndarray,
-        algorithm: str = "sfs",
+        algorithm: str | None = "sfs",
         sigma: int | None = None,
         counter: DominanceCounter | None = None,
-        **kwargs,
+        engine: SkylineEngine | None = None,
+        **kwargs: object,
     ) -> SkylineResult:
-        """Run the query; result indices refer to the input dataset's rows."""
+        """Run the query; result indices refer to the input dataset's rows.
+
+        ``algorithm=None`` lets the engine's planner choose adaptively.
+        Passing a shared :class:`~repro.engine.SkylineEngine` lets repeated
+        queries over the same dataset reuse prepared subspace views, Merge
+        results and sort orders; the returned result carries the executed
+        :class:`~repro.engine.plan.Plan` and the run's full counter.
+        """
         dataset = as_dataset(data)
         skyline_dims = self._preference_dims(dataset)
+        engine = engine if engine is not None else SkylineEngine()
 
         keep = np.ones(dataset.cardinality, dtype=bool)
         for constraint in self._ranges:
@@ -107,28 +116,45 @@ class SkylineQuery:
         if kept_ids.size == 0:
             return SkylineResult(
                 indices=np.empty(0, dtype=np.intp),
-                algorithm=algorithm,
+                algorithm=algorithm or "auto",
                 dominance_tests=0,
                 elapsed_seconds=0.0,
                 cardinality=dataset.cardinality,
+                counter=counter if counter is not None else DominanceCounter(),
             )
 
-        projected = dataset.values[np.ix_(kept_ids, skyline_dims)].copy()
-        flip = [i for i, dim in enumerate(skyline_dims) if dim in self._max_dims(dataset)]
-        for local_dim in flip:
-            column = projected[:, local_dim]
-            projected[:, local_dim] = column.max() - column
-        sub = Dataset(projected, name=f"{dataset.name}[query]", kind=dataset.kind)
-        local = get_algorithm(algorithm, sigma=sigma, **kwargs).compute(
-            sub, counter=counter
+        max_dims = self._max_dims(dataset)
+        if kept_ids.size == dataset.cardinality:
+            # Unfiltered query: execute over the prepared, cached subspace
+            # view so repeated queries share projections, Merge results and
+            # sort orders.  The flip (max(col) - col over all rows) matches
+            # the ephemeral path below exactly.
+            target: Dataset | object = engine.prepare(dataset).view(
+                skyline_dims, maximize=sorted(max_dims), counter=counter
+            )
+        else:
+            # Range-filtered query: the max-flip is relative to the rows
+            # that survive the filter, so the projection is query-specific
+            # and not worth caching.
+            projected = dataset.values[np.ix_(kept_ids, skyline_dims)].copy()
+            flip = [i for i, dim in enumerate(skyline_dims) if dim in max_dims]
+            for local_dim in flip:
+                column = projected[:, local_dim]
+                projected[:, local_dim] = column.max() - column
+            target = Dataset(
+                projected, name=f"{dataset.name}[query]", kind=dataset.kind
+            )
+        local = engine.execute(
+            target,  # type: ignore[arg-type]
+            algorithm,
+            sigma,
+            counter=counter,
+            host_options=kwargs or None,
         )
-        return SkylineResult(
+        return replace(
+            local,
             indices=kept_ids[local.indices],
-            algorithm=local.algorithm,
-            dominance_tests=local.dominance_tests,
-            elapsed_seconds=local.elapsed_seconds,
             cardinality=dataset.cardinality,
-            counter=local.counter,
         )
 
     def _preference_dims(self, dataset: Dataset) -> list[int]:

@@ -1,6 +1,11 @@
 """Instrumentation: dominance-test counters and evaluation metrics."""
 
 from repro.stats.counters import DominanceCounter
+from repro.stats.estimate import (
+    correlation_signal,
+    expected_skyline_size,
+    expected_skyline_size_asymptotic,
+)
 from repro.stats.metrics import (
     MetricRow,
     mean_dominance_tests,
@@ -11,6 +16,9 @@ from repro.stats.metrics import (
 __all__ = [
     "DominanceCounter",
     "MetricRow",
+    "correlation_signal",
+    "expected_skyline_size",
+    "expected_skyline_size_asymptotic",
     "mean_dominance_tests",
     "performance_gain",
     "summarize",

@@ -35,6 +35,15 @@ class DominanceCounter:
     index_cache_invalidations:
         Cache entries discarded because the index changed under them
         (generation mismatch after a ``remove``/``clear``).
+    prepared_cache_hits:
+        :class:`~repro.engine.prepared.PreparedDataset` cache lookups
+        (Merge results, sort keys, views, anchor masks, statistics) served
+        without recomputation.  A hit performs no dominance tests, so the
+        DT saving of the warm path is exactly the tests the cold path
+        charged for the same artefact.
+    prepared_cache_misses:
+        Prepared-cache lookups that had to compute (and cache) the
+        artefact; the computation's dominance tests are charged normally.
     """
 
     tests: int = 0
@@ -43,6 +52,8 @@ class DominanceCounter:
     index_cache_hits: int = 0
     index_cache_misses: int = 0
     index_cache_invalidations: int = 0
+    prepared_cache_hits: int = 0
+    prepared_cache_misses: int = 0
     extras: dict[str, float] = field(default_factory=dict)
 
     def add(self, n: int = 1) -> None:
@@ -67,6 +78,31 @@ class DominanceCounter:
         self.index_cache_misses += 1
         self.index_cache_invalidations += invalidated
 
+    def add_prepared_hit(self, n: int = 1) -> None:
+        """Record ``n`` prepared-dataset cache hits (no work performed)."""
+        self.prepared_cache_hits += n
+
+    def add_prepared_miss(self, n: int = 1) -> None:
+        """Record ``n`` prepared-dataset cache misses (artefact computed)."""
+        self.prepared_cache_misses += n
+
+    def absorb(self, other: "DominanceCounter") -> None:
+        """Fold another counter's tallies into this one.
+
+        Used by :class:`~repro.engine.context.ExecutionContext` to
+        aggregate per-query counters into a session-wide total.
+        """
+        self.tests += other.tests
+        self.index_queries += other.index_queries
+        self.index_nodes_visited += other.index_nodes_visited
+        self.index_cache_hits += other.index_cache_hits
+        self.index_cache_misses += other.index_cache_misses
+        self.index_cache_invalidations += other.index_cache_invalidations
+        self.prepared_cache_hits += other.prepared_cache_hits
+        self.prepared_cache_misses += other.prepared_cache_misses
+        for key, value in other.extras.items():
+            self.extras[key] = self.extras.get(key, 0.0) + value
+
     def mean_tests(self, cardinality: int) -> float:
         """The paper's mean dominance test number: ``tests / N``."""
         if cardinality <= 0:
@@ -81,4 +117,6 @@ class DominanceCounter:
         self.index_cache_hits = 0
         self.index_cache_misses = 0
         self.index_cache_invalidations = 0
+        self.prepared_cache_hits = 0
+        self.prepared_cache_misses = 0
         self.extras.clear()

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.errors import InvalidParameterError
 
 
@@ -57,3 +59,39 @@ def expected_skyline_size_asymptotic(n: int, d: int) -> float:
     if n == 1:
         return 1.0
     return math.log(n) ** (d - 1) / math.factorial(d - 1)
+
+
+def correlation_signal(values: np.ndarray) -> float:
+    """Mean pairwise Pearson correlation between dimensions, in ``[-1, 1]``.
+
+    The workload-regime signal the planner keys algorithm selection on:
+    strongly positive for the paper's AC-style generators (tiny skylines,
+    stop points terminate scans early), near zero for UI, strongly
+    negative for CO (large skylines, index filtering dominates).  Constant
+    dimensions carry no preference information and contribute zero.
+
+    >>> import numpy as np
+    >>> base = np.linspace(0.0, 1.0, 64)
+    >>> round(correlation_signal(np.column_stack([base, base])), 6)
+    1.0
+    >>> round(correlation_signal(np.column_stack([base, -base])), 6)
+    -1.0
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise InvalidParameterError(
+            f"expected an (n, d) array, got shape {values.shape}"
+        )
+    n, d = values.shape
+    if n < 2 or d < 2:
+        return 0.0
+    deviations = values - values.mean(axis=0)
+    norms = np.sqrt(np.einsum("ij,ij->j", deviations, deviations))
+    varying = norms > 0.0
+    if int(varying.sum()) < 2:
+        return 0.0
+    unit = deviations[:, varying] / norms[varying]
+    matrix = unit.T @ unit
+    k = matrix.shape[0]
+    off_diagonal = matrix.sum() - np.trace(matrix)
+    return float(np.clip(off_diagonal / (k * (k - 1)), -1.0, 1.0))

@@ -249,4 +249,52 @@ class TestEngine:
         assert {f.rule for f in only_bitmask} == {"RPR002"}
 
     def test_rule_codes_catalogue(self):
-        assert rule_codes() == ["RPR001", "RPR002", "RPR003", "RPR004"]
+        assert rule_codes() == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005"]
+
+
+class TestRPR005HandWiredBoost:
+    BOOST_SOURCE = """
+    from repro.algorithms.sfs import SFS
+    from repro.core.boost import SubsetBoost
+
+    def f(dataset):
+        return SubsetBoost(SFS(), sigma=2).compute(dataset)
+    """
+
+    def test_flags_direct_construction(self, tmp_path):
+        findings = lint_source(tmp_path, self.BOOST_SOURCE, select=["RPR005"])
+        assert [f.rule for f in findings] == ["RPR005"]
+        assert "SkylineEngine" in findings[0].message
+
+    def test_flags_attribute_construction(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            from repro.core import boost
+
+            def f(host):
+                return boost.SubsetBoost(host)
+            """,
+            select=["RPR005"],
+        )
+        assert [f.rule for f in findings] == ["RPR005"]
+
+    def test_core_and_engine_own_the_wiring(self, tmp_path):
+        for filename in ("repro/core/factory.py", "repro/engine/custom.py"):
+            findings = lint_source(
+                tmp_path, self.BOOST_SOURCE, filename=filename, select=["RPR005"]
+            )
+            assert findings == []
+
+    def test_noqa_escape_hatch(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            from repro.core.boost import SubsetBoost
+
+            def f(host):
+                return SubsetBoost(host)  # noqa: RPR005
+            """,
+            select=["RPR005"],
+        )
+        assert findings == []

@@ -1,0 +1,138 @@
+"""SkylineEngine vs direct algorithm calls: the refactor's core contract.
+
+A pinned plan on a cold engine must be observationally identical to the
+direct ``get_algorithm(name).compute`` call — same skyline ids in the same
+order, same charged dominance-test count.  Warm runs may skip work, but
+only work the prepared caches legitimately absorb: the skyline never
+changes, and the saving is visible as ``prepared_cache_hits``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.algorithms.registry import get_algorithm
+from repro.dataset import Dataset
+from repro.engine import SkylineEngine
+from repro.stats.counters import DominanceCounter
+from tests.conftest import brute_skyline_ids
+
+# The full cross-section of execution paths: plain sort-scans, boosted
+# scans (each phase-capable host), and a non-phase algorithm (BNL) that the
+# engine runs through the host's private body.
+ALGORITHMS = [
+    "bnl",
+    "sfs",
+    "less",
+    "salsa",
+    "sdi",
+    "sfs-subset",
+    "salsa-subset",
+    "sdi-subset",
+]
+
+WORKLOADS = ["ui_small", "ac_small", "co_small", "duplicate_heavy"]
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_cold_run_matches_direct_call(name, workload, request):
+    dataset = request.getfixturevalue(workload)
+    direct_counter = DominanceCounter()
+    direct = get_algorithm(name).compute(dataset, counter=direct_counter)
+    cold_counter = DominanceCounter()
+    result = SkylineEngine().execute(dataset, name, counter=cold_counter)
+    assert np.array_equal(result.indices, direct.indices)
+    assert cold_counter.tests == direct_counter.tests
+    assert result.algorithm == name
+
+
+@pytest.mark.parametrize("name", ["sfs-subset", "salsa-subset", "sdi-subset"])
+def test_warm_boosted_run_reuses_the_merge_result(name, ui_small):
+    engine = SkylineEngine()
+    cold_counter = DominanceCounter()
+    cold = engine.execute(ui_small, name, counter=cold_counter)
+    warm_counter = DominanceCounter()
+    warm = engine.execute(ui_small, name, counter=warm_counter)
+    assert np.array_equal(warm.indices, cold.indices)
+    assert warm_counter.prepared_cache_hits > 0
+    assert warm_counter.tests <= cold_counter.tests
+
+
+def test_warm_plain_scan_reuses_the_sort_order(ui_small):
+    engine = SkylineEngine()
+    cold = engine.execute(ui_small, "sfs", counter=DominanceCounter())
+    prepared = engine.prepare(ui_small)
+    assert prepared.cache_info()["sort"] >= 1
+    warm_counter = DominanceCounter()
+    warm = engine.execute(ui_small, "sfs", counter=warm_counter)
+    assert np.array_equal(warm.indices, cold.indices)
+
+
+def test_adaptive_execution_matches_the_oracle(ui_medium):
+    result = SkylineEngine().execute(ui_medium, algorithm=None)
+    assert list(result.indices) == brute_skyline_ids(ui_medium.values)
+    assert result.plan is not None
+    assert result.plan.adaptive
+
+
+def test_session_counter_accumulates_across_runs(ui_small):
+    engine = SkylineEngine()
+    engine.execute(ui_small, "sfs")
+    engine.execute(ui_small, "sdi-subset")
+    assert engine.context.runs_recorded == 2
+    assert engine.context.counter.tests > 0
+
+
+def test_pinned_plan_can_be_executed_directly(ui_small):
+    engine = SkylineEngine()
+    plan = engine.plan(ui_small, "sdi-subset")
+    via_plan = engine.execute(ui_small, plan=plan)
+    direct = engine.execute(ui_small, "sdi-subset")
+    assert np.array_equal(via_plan.indices, direct.indices)
+    assert via_plan.plan == plan
+
+
+# -- hypothesis bridge -------------------------------------------------------
+# Mirrors tests/core/test_memoization_properties.py: let hypothesis search
+# the input space for datasets where the engine path and the direct path
+# disagree, including degenerate shapes (n=1, d=1) and duplicate-heavy grids.
+
+random_datasets = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(1, 40), st.integers(1, 4)),
+    elements=st.floats(0, 1, allow_nan=False, width=16),
+)
+
+grid_datasets = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(1, 30), st.integers(1, 3)),
+    elements=st.sampled_from([0.0, 0.5, 1.0]),
+)
+
+bridge_algorithms = st.sampled_from(["sfs", "less", "salsa-subset", "sdi-subset"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_datasets, bridge_algorithms)
+def test_engine_agrees_with_oracle_and_direct_dt(values, name):
+    direct_counter = DominanceCounter()
+    direct = get_algorithm(name).compute(Dataset(values), counter=direct_counter)
+    cold_counter = DominanceCounter()
+    result = SkylineEngine().execute(values, name, counter=cold_counter)
+    assert list(result.indices) == brute_skyline_ids(values)
+    assert np.array_equal(result.indices, direct.indices)
+    assert cold_counter.tests == direct_counter.tests
+
+
+@settings(max_examples=25, deadline=None)
+@given(grid_datasets, bridge_algorithms)
+def test_warm_runs_stay_exact_on_duplicate_grids(values, name):
+    dataset = Dataset(values)
+    engine = SkylineEngine()
+    cold = engine.execute(dataset, name)
+    warm = engine.execute(dataset, name)
+    assert list(warm.indices) == brute_skyline_ids(values)
+    assert np.array_equal(warm.indices, cold.indices)

@@ -1,0 +1,88 @@
+"""Extensions sharing one engine: identical answers, observable cache reuse."""
+
+import numpy as np
+
+from repro.engine import SkylineEngine
+from repro.extensions.skyband import skyband, skyband_ids
+from repro.extensions.skycube import Skycube, subspace_skyline
+from repro.extensions.streaming import StreamingSkyline
+from repro.extensions.topk import top_k_dominating
+from repro.stats.counters import DominanceCounter
+from tests.conftest import brute_skyline_ids
+
+
+class TestSkybandReuse:
+    def test_engine_path_matches_direct_path(self, ui_small):
+        direct = skyband(ui_small, 3)
+        via_engine = skyband(ui_small, 3, engine=SkylineEngine())
+        assert via_engine == direct
+
+    def test_repeat_calls_hit_the_anchor_mask_cache(self, ui_small):
+        engine = SkylineEngine()
+        cold_counter = DominanceCounter()
+        skyband(ui_small, 2, cold_counter, engine=engine)
+        assert cold_counter.prepared_cache_misses == 1
+        warm_counter = DominanceCounter()
+        warm = skyband(ui_small, 4, warm_counter, engine=engine)
+        assert warm_counter.prepared_cache_hits == 1
+        assert warm == skyband(ui_small, 4)
+
+    def test_topk_shares_the_skyband_preprocessing(self, ui_small):
+        engine = SkylineEngine()
+        counter = DominanceCounter()
+        skyband_ids(ui_small, 3, counter, engine=engine)
+        warm_counter = DominanceCounter()
+        ranked = top_k_dominating(ui_small, 3, warm_counter, engine=engine)
+        assert warm_counter.prepared_cache_hits == 1
+        assert ranked == top_k_dominating(ui_small, 3)
+
+
+class TestSkycubeReuse:
+    def test_repeated_subspace_queries_are_warm(self, ui_small):
+        engine = SkylineEngine()
+        cold = subspace_skyline(ui_small, [0, 2], counter=DominanceCounter(), engine=engine)
+        warm_counter = DominanceCounter()
+        warm = subspace_skyline(ui_small, [0, 2], counter=warm_counter, engine=engine)
+        assert np.array_equal(warm, cold)
+        assert warm_counter.prepared_cache_hits > 0
+        assert list(cold) == brute_skyline_ids(ui_small.values[:, [0, 2]])
+
+    def test_cube_accepts_a_shared_engine(self, ui_small):
+        engine = SkylineEngine()
+        cube = Skycube(ui_small, engine=engine)
+        assert len(cube) == 2**ui_small.dimensionality - 1
+        # Querying a cuboid's subspace again reuses the cube's prepared view.
+        counter = DominanceCounter()
+        repeat = subspace_skyline(ui_small, [0, 1], counter=counter, engine=engine)
+        assert np.array_equal(repeat, cube.skyline([0, 1]))
+        assert counter.prepared_cache_hits > 0
+
+
+class TestStreamingBulkLoad:
+    def test_from_dataset_matches_sequential_inserts(self, ui_small):
+        values = ui_small.values[:120]
+        sequential = StreamingSkyline(d=values.shape[1], anchors=6)
+        for row in values:
+            sequential.insert(row)
+        bulk = StreamingSkyline.from_dataset(values, anchors=6)
+        assert bulk.skyline_ids() == sequential.skyline_ids()
+        assert len(bulk) == len(sequential)
+        assert bulk._masks == sequential._masks
+
+    def test_bulk_loaded_stream_keeps_maintaining_correctly(self, ui_small):
+        values = ui_small.values[:80]
+        stream = StreamingSkyline.from_dataset(values, anchors=4)
+        stream.insert(values.min(axis=0) - 0.1)  # dominates everything
+        assert stream.skyline_ids() == [values.shape[0]]
+        stream.delete(values.shape[0])
+        assert stream.skyline_ids() == brute_skyline_ids(values)
+
+    def test_from_dataset_accepts_a_shared_engine(self, ui_small):
+        engine = SkylineEngine()
+        engine.execute(ui_small, "sdi-subset")
+        counter = DominanceCounter()
+        stream = StreamingSkyline.from_dataset(
+            ui_small, counter=counter, engine=engine, algorithm="sdi-subset"
+        )
+        assert counter.prepared_cache_hits > 0
+        assert stream.skyline_ids() == brute_skyline_ids(ui_small.values)

@@ -1,0 +1,59 @@
+"""Plans and counters surfaced on results across the refactored entry points."""
+
+import numpy as np
+
+import repro
+from repro.engine import Plan, SkylineEngine
+from repro.query import SkylineQuery
+from repro.stats.counters import DominanceCounter
+from tests.conftest import brute_skyline_ids
+
+
+class TestSkylineFacade:
+    def test_result_carries_plan_and_counter(self, ui_small):
+        result = repro.skyline(ui_small)
+        assert isinstance(result.plan, Plan)
+        assert result.plan.label == "sdi-subset"
+        assert result.counter is not None
+        assert result.counter.tests == result.dominance_tests > 0
+
+    def test_adaptive_mode_selects_and_explains(self, ui_medium):
+        result = repro.skyline(ui_medium, algorithm=None)
+        assert result.plan.adaptive
+        assert "[adaptive]" in result.plan.explain()
+        assert list(result.indices) == brute_skyline_ids(ui_medium.values)
+
+    def test_shared_engine_serves_repeats_warm(self, ui_small):
+        engine = SkylineEngine()
+        repro.skyline(ui_small, engine=engine)
+        warm_counter = DominanceCounter()
+        repro.skyline(ui_small, counter=warm_counter, engine=engine)
+        assert warm_counter.prepared_cache_hits > 0
+
+
+class TestQueryThroughEngine:
+    def test_result_carries_plan_and_counter(self, ui_small):
+        query = SkylineQuery().minimize(0, 1).maximize(2)
+        result = query.execute(ui_small, "sfs-subset")
+        assert isinstance(result.plan, Plan)
+        assert result.plan.boosted
+        assert result.counter.tests > 0
+
+    def test_repeated_queries_share_the_prepared_view(self, ui_small):
+        engine = SkylineEngine()
+        query = SkylineQuery().minimize(0, 1).maximize(2)
+        first = query.execute(ui_small, "sfs-subset", engine=engine)
+        warm_counter = DominanceCounter()
+        second = query.execute(
+            ui_small, "sfs-subset", counter=warm_counter, engine=engine
+        )
+        assert np.array_equal(first.indices, second.indices)
+        # Both the cached subspace view and its Merge result are hits.
+        assert warm_counter.prepared_cache_hits >= 2
+
+    def test_unfiltered_view_matches_ephemeral_projection(self, ui_small):
+        query = SkylineQuery().minimize(0).maximize(3)
+        through_view = query.execute(ui_small, "sfs")
+        values = ui_small.values[:, [0, 3]].copy()
+        values[:, 1] = values[:, 1].max() - values[:, 1]
+        assert list(through_view.indices) == brute_skyline_ids(values)

@@ -63,3 +63,19 @@ class TestOthers:
         assert main(["tune", "--kind", "UI", "-n", "200", "-d", "4", "--sample", "100"]) == 0
         out = capsys.readouterr().out
         assert "best sigma" in out
+
+
+class TestExplain:
+    def test_explain_prints_the_pinned_plan(self, capsys):
+        args = ["run", "-a", "sdi-subset", "--kind", "UI", "-n", "80", "-d", "3"]
+        assert main(args + ["--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "Plan: sdi-subset" in out
+        assert "[pinned]" in out
+
+    def test_auto_lets_the_planner_choose(self, capsys):
+        args = ["run", "-a", "auto", "--kind", "UI", "-n", "80", "-d", "3"]
+        assert main(args + ["--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "[adaptive]" in out
+        assert "signals:" in out
