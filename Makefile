@@ -42,7 +42,7 @@ lint:
 
 typecheck:
 	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
-		$(PYTHON) -m mypy src/repro/core src/repro/stats src/repro/analysis src/repro/engine; \
+		$(PYTHON) -m mypy src/repro/core src/repro/stats src/repro/analysis src/repro/engine src/repro/obs; \
 	else \
 		echo "mypy not installed — skipping typecheck (make install-dev)"; \
 	fi

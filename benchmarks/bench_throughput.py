@@ -50,6 +50,8 @@ from repro.core.merge import merge
 from repro.core.stability import default_threshold
 from repro.data import generate
 from repro.engine import SkylineEngine
+from repro.engine.context import ExecutionContext
+from repro.obs import Tracer, aggregate_phases
 from repro.stats.counters import DominanceCounter
 
 #: host name -> (scalar factory, batched factory)
@@ -208,6 +210,26 @@ def run_repeated_queries(kind, n, d, seed, queries=50, algorithm="sfs-subset"):
     return report, identical and report["meets_2x"]
 
 
+def phase_breakdown(kind, n, d, seed, algorithm="sdi-subset"):
+    """Per-phase wall/CPU/DT profile of one traced engine run.
+
+    One extra execution with a live :class:`~repro.obs.Tracer` — the timed
+    scenarios above stay untraced, so their numbers are unaffected.
+    """
+    dataset = generate(kind, n=n, d=d, seed=seed)
+    engine = SkylineEngine(ExecutionContext(tracer=Tracer()))
+    result = engine.execute(dataset, algorithm)
+    phases = {}
+    for phase in aggregate_phases(result.trace):
+        phases[".".join(phase.path)] = {
+            "calls": phase.calls,
+            "wall_s": round(phase.wall_s, 6),
+            "cpu_s": round(phase.cpu_s, 6),
+            "dominance_tests": phase.dominance_tests,
+        }
+    return {"algorithm": algorithm, "phases": phases}
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--kind", default="UI", choices=("UI", "CO", "AC"))
@@ -241,6 +263,7 @@ def main(argv=None):
         args.kind, args.n, args.d, args.seed, queries=args.queries
     )
     report["repeated_queries"] = repeated
+    report["phases"] = phase_breakdown(args.kind, args.n, args.d, args.seed)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
     if not ok:

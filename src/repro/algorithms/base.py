@@ -11,7 +11,6 @@ exactly the paper's "container" framing.
 
 from __future__ import annotations
 
-import time
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterator, MutableMapping
 from dataclasses import dataclass, field
@@ -22,10 +21,13 @@ import numpy as np
 from repro.core.container import ListContainer, SkylineContainer
 from repro.dataset import Dataset, as_dataset
 from repro.dominance import first_dominator
+from repro.obs.clock import timed
+from repro.obs.trace import current_tracer
 from repro.stats.counters import DominanceCounter
 
 if TYPE_CHECKING:  # import cycle: the engine executes these algorithms
     from repro.engine.plan import Plan
+    from repro.obs.trace import Trace
 
 
 @dataclass(frozen=True)
@@ -52,6 +54,10 @@ class SkylineResult:
         The :class:`~repro.engine.plan.Plan` that produced this result
         when the run went through :class:`~repro.engine.SkylineEngine`;
         ``None`` for direct algorithm calls.
+    trace:
+        The :class:`~repro.obs.trace.Trace` of the run when the engine's
+        context carried an enabled :class:`~repro.obs.trace.Tracer`;
+        ``None`` otherwise (the default ``NullTracer`` records nothing).
     """
 
     indices: np.ndarray
@@ -61,6 +67,7 @@ class SkylineResult:
     cardinality: int
     counter: DominanceCounter = field(repr=False, default_factory=DominanceCounter)
     plan: "Plan | None" = field(repr=False, default=None)
+    trace: "Trace | None" = field(repr=False, default=None)
 
     @property
     def size(self) -> int:
@@ -84,10 +91,9 @@ def run_timed(
 ) -> SkylineResult:
     """Shared compute wrapper: coerce input, time the body, package a result."""
     dataset = as_dataset(data)
-    counter = counter if counter is not None else DominanceCounter()
-    started = time.perf_counter()
-    ids = body(dataset, counter)
-    elapsed = time.perf_counter() - started
+    run_counter = counter if counter is not None else DominanceCounter()
+    ids, elapsed = timed(lambda: body(dataset, run_counter))
+    counter = run_counter
     indices = np.asarray(sorted(set(int(i) for i in ids)), dtype=np.intp)
     if len(indices) != len(ids):
         raise AssertionError(f"{name} returned duplicate skyline ids")
@@ -253,7 +259,10 @@ def cached_sort_order(
         cached = sort_cache.get("order")
         if cached is not None:
             return cached  # type: ignore[return-value]
-    order = sorter(values, ids)
+    with current_tracer().span(
+        "sort", points=int(ids.shape[0]), cache_attached=sort_cache is not None
+    ):
+        order = sorter(values, ids)
     if sort_cache is not None:
         sort_cache["order"] = order
     return order

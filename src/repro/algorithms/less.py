@@ -22,6 +22,7 @@ from repro.core.container import SkylineContainer
 from repro.dataset import Dataset
 from repro.dominance import first_dominator
 from repro.errors import InvalidParameterError
+from repro.obs.trace import current_tracer
 from repro.stats.counters import DominanceCounter
 
 __all__ = ["LESS"]
@@ -65,32 +66,44 @@ class LESS(SortScanAlgorithm):
         if cached is not None:
             order = cached
         else:
-            keys = sort_keys(values, "entropy")
+            # The sort span covers the EF pass too — it charges dominance
+            # tests during sorting, which the span's counter delta exposes.
+            with current_tracer().span(
+                "sort", counter=counter, host=self.name, points=int(len(ids))
+            ):
+                keys = sort_keys(values, "entropy")
 
-            # Phase 1: elimination-filter pass in input order.  The EF window
-            # holds the lowest-entropy points seen so far; points it dominates
-            # are dropped before the (simulated) sort.  Evicted window members
-            # are ordinary survivors — the window is a filter, not the skyline.
-            ef_ids: list[int] = []
-            survivors: list[int] = []
-            for point_id in ids:
-                point_id = int(point_id)
-                point = values[point_id]
-                block = values[np.asarray(ef_ids, dtype=np.intp)] if ef_ids else values[:0]
-                if first_dominator(block, point, counter) != -1:
-                    continue
-                survivors.append(point_id)
-                if len(ef_ids) < self.window_size:
-                    ef_ids.append(point_id)
-                else:
-                    worst = max(range(len(ef_ids)), key=lambda k: keys[ef_ids[k]])
-                    if keys[point_id] < keys[ef_ids[worst]]:
-                        ef_ids[worst] = point_id
+                # Phase 1: elimination-filter pass in input order.  The EF
+                # window holds the lowest-entropy points seen so far; points
+                # it dominates are dropped before the (simulated) sort.
+                # Evicted window members are ordinary survivors — the window
+                # is a filter, not the skyline.
+                ef_ids: list[int] = []
+                survivors: list[int] = []
+                for point_id in ids:
+                    point_id = int(point_id)
+                    point = values[point_id]
+                    block = (
+                        values[np.asarray(ef_ids, dtype=np.intp)]
+                        if ef_ids
+                        else values[:0]
+                    )
+                    if first_dominator(block, point, counter) != -1:
+                        continue
+                    survivors.append(point_id)
+                    if len(ef_ids) < self.window_size:
+                        ef_ids.append(point_id)
+                    else:
+                        worst = max(
+                            range(len(ef_ids)), key=lambda k: keys[ef_ids[k]]
+                        )
+                        if keys[point_id] < keys[ef_ids[worst]]:
+                            ef_ids[worst] = point_id
 
-            # Phase 2: SFS scan over the survivors.
-            order = monotone_order(
-                keys, sum_tiebreak(values), np.asarray(survivors, dtype=np.intp)
-            )
+                # Phase 2: SFS scan over the survivors.
+                order = monotone_order(
+                    keys, sum_tiebreak(values), np.asarray(survivors, dtype=np.intp)
+                )
             if sort_cache is not None:
                 sort_cache["order"] = order
         skyline: list[int] = []

@@ -51,6 +51,7 @@ from repro.algorithms.base import SkylineAlgorithm
 from repro.core.container import ListContainer, SkylineContainer
 from repro.dataset import Dataset
 from repro.dominance import first_dominator
+from repro.obs.trace import current_tracer
 from repro.stats.counters import DominanceCounter
 
 __all__ = ["SDI"]
@@ -157,18 +158,25 @@ class SDI(SkylineAlgorithm):
         if cached is not None:
             orders, stop_point = cached  # type: ignore[misc]
         else:
-            tiebreak = values.sum(axis=1)
+            with current_tracer().span(
+                "sort", host=self.name, points=int(ids.size), dims=d
+            ):
+                tiebreak = values.sum(axis=1)
 
-            # Sort phase: one index per dimension over the active ids.
-            orders = [
-                ids[np.lexsort((tiebreak[ids], values[ids, dim]))] for dim in range(d)
-            ]
+                # Sort phase: one index per dimension over the active ids.
+                orders = [
+                    ids[np.lexsort((tiebreak[ids], values[ids, dim]))]
+                    for dim in range(d)
+                ]
 
-            # Stop point: minimum Euclidean distance to the minimum corner.
-            corner = values[ids].min(axis=0)
-            shifted = values[ids] - corner
-            stop_id = int(ids[np.argmin(np.einsum("ij,ij->i", shifted, shifted))])
-            stop_point = values[stop_id]
+                # Stop point: minimum Euclidean distance to the minimum
+                # corner.
+                corner = values[ids].min(axis=0)
+                shifted = values[ids] - corner
+                stop_id = int(
+                    ids[np.argmin(np.einsum("ij,ij->i", shifted, shifted))]
+                )
+                stop_point = values[stop_id]
             if sort_cache is not None:
                 sort_cache["sdi_sort"] = (orders, stop_point)
 

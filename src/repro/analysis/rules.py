@@ -1,4 +1,4 @@
-"""Repo-specific lint rules (RPR001–RPR005).
+"""Repo-specific lint rules (RPR001–RPR006).
 
 Each rule encodes one of the conventions the subset-skyline reproduction
 depends on for *correctness of its reported numbers*, not just style:
@@ -17,6 +17,10 @@ depends on for *correctness of its reported numbers*, not just style:
   ``core/`` and ``engine/``; hand-wired boosts bypass the engine's
   prepared caches and planner, recreating the duplication the engine
   refactor removed.
+- **RPR006** — no raw ``time.perf_counter()`` / ``time.process_time()``
+  calls outside ``obs/`` and ``algorithms/base.py``; ad-hoc clocks define
+  "elapsed" differently per call site, so measurements flow through
+  :mod:`repro.obs.clock` and the tracer instead.
 
 Rules are pure functions of a parsed module; suppression is line-level
 ``# noqa: RPRxxx`` (see :mod:`repro.analysis.lint`).
@@ -340,12 +344,57 @@ class HandWiredBoost(Rule):
                 )
 
 
+#: Raw-clock callables RPR006 polices.  ``time.monotonic``/``time.time``
+#: are deliberately excluded: they appear in wall-clock *scheduling* code
+#: (pool timeouts), not in measurements.
+_RAW_CLOCKS = ("perf_counter", "process_time")
+
+
+class RawClockRead(Rule):
+    """RPR006: raw clock reads outside ``obs/`` and ``algorithms/base.py``."""
+
+    code = "RPR006"
+    name = "raw-clock-read"
+    severity = Severity.ERROR
+    description = (
+        "time.perf_counter()/process_time() called outside repro.obs and "
+        "algorithms/base.py; use repro.obs.clock.timed()/Stopwatch (or a "
+        "tracer span) so every measurement shares one definition of "
+        "'elapsed' — suppress deliberate raw reads with `# noqa: RPR006`"
+    )
+    allowlist = ("repro/algorithms/base.py",)
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        path = module.path.resolve().as_posix()
+        if "/repro/obs/" in path:
+            return False
+        return super().applies_to(module)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not self.applies_to(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            called = _called_name(node.func)
+            if called not in _RAW_CLOCKS:
+                continue
+            yield self.finding(
+                module,
+                node.lineno,
+                f"raw `{called}()` read — time through "
+                "repro.obs.clock.timed()/Stopwatch or a tracer span so the "
+                "phase breakdown and the headline numbers agree",
+            )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     UncountedDominance(),
     RawBitmaskSurgery(),
     RegistryHygiene(),
     NumpyScalarLeak(),
     HandWiredBoost(),
+    RawClockRead(),
 )
 
 

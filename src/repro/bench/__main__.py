@@ -14,10 +14,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.sweep import DEFAULT_SCALE, SweepConfig
+from repro.obs.clock import timed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,9 +84,7 @@ def main(argv: list[str] | None = None) -> int:
     chunks: list[str] = []
     raw: dict[str, dict] = {}
     for name in names:
-        started = time.perf_counter()
-        report = run_experiment(name, cfg)
-        elapsed = time.perf_counter() - started
+        report, elapsed = timed(lambda: run_experiment(name, cfg))
         chunk = f"{report.text}\n\n[{report.experiment} completed in {elapsed:.1f}s]"
         print(chunk)
         print()

@@ -12,7 +12,6 @@ design choices the paper calls out but does not table.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
@@ -30,6 +29,7 @@ from repro.data.real import HOUSE_CARDINALITY, NBA_CARDINALITY, WEATHER_CARDINAL
 from repro.dataset import Dataset
 from repro.dominance import dominating_subspaces
 from repro.errors import InvalidParameterError
+from repro.obs.clock import timed
 from repro.stats.counters import DominanceCounter
 
 KINDS = ("AC", "CO", "UI")
@@ -427,17 +427,17 @@ def ablation_sigma(cfg: SweepConfig) -> ExperimentReport:
             grid["sdi-subset"][f"s={sigma}"] = row.mean_dt
         tuned = tune_sigma(dataset, SDI(), sample_size=min(n, 1000), seed=cfg.seed)
         heuristic = default_threshold(d)
-        started = time.perf_counter()
         counter = DominanceCounter()
-        SubsetBoost(  # noqa: RPR005 — ablation isolates the raw boost wiring
+        boosted = SubsetBoost(  # noqa: RPR005 — ablation isolates the raw boost wiring
             SDI(), sigma=tuned.sigma
-        ).compute(dataset, counter=counter)
+        )
+        _, tuned_elapsed = timed(lambda: boosted.compute(dataset, counter=counter))
         grid["sdi-subset"][f"tuned({tuned.sigma})"] = counter.tests / n
         blocks.append(
             format_paper_table(
                 f"Ablation (sigma, {kind}): DT vs threshold; heuristic d/3 -> "
                 f"sigma={heuristic}; autotuned -> sigma={tuned.sigma} "
-                f"({time.perf_counter() - started:.2f}s incl. run)",
+                f"({tuned_elapsed:.2f}s incl. run)",
                 "Method",
                 list(grid["sdi-subset"].keys()),
                 grid,
@@ -492,15 +492,14 @@ def ablation_container(cfg: SweepConfig) -> ExperimentReport:
             for container in ("list", "subset"):
                 label = f"{host_name}+merge[{container}]"
                 counter = DominanceCounter()
-                started = time.perf_counter()
-                SubsetBoost(  # noqa: RPR005 — ablation isolates the raw boost wiring
+                boosted = SubsetBoost(  # noqa: RPR005 — ablation isolates the raw boost wiring
                     host_cls(), container=container
-                ).compute(
-                    dataset, counter=counter
                 )
-                elapsed = (time.perf_counter() - started) * 1000
+                _, elapsed = timed(
+                    lambda: boosted.compute(dataset, counter=counter)
+                )
                 dt.setdefault(label, {})[kind] = counter.tests / n
-                rt.setdefault(label, {})[kind] = elapsed
+                rt.setdefault(label, {})[kind] = elapsed * 1000
     text = (
         format_paper_table(
             f"Ablation (container): DT with merge + list vs merge + subset index "

@@ -255,22 +255,23 @@ def _load_spotcheck() -> str | None:
 
 def run_spotcheck(path: str = "fullscale_spotcheck.txt", n: int = 100_000) -> None:
     """Regenerate the paper-scale spot-check artefact (takes minutes)."""
-    import time
-
     from repro import skyline
     from repro.data import generate
+    from repro.obs.clock import timed
     from repro.stats.counters import DominanceCounter
 
     data = generate("UI", n=n, d=8, seed=0)
     lines = [f"paper-scale spot check: {data.describe()}"]
     for name in ("sdi", "sdi-subset", "salsa-subset", "bskytree-s", "bskytree-p"):
         counter = DominanceCounter()
-        started = time.perf_counter()
-        result = skyline(data, algorithm=name, counter=counter)
+        result, elapsed = timed(
+            lambda: skyline(data, algorithm=name, counter=counter)
+        )
+        tallies = counter.as_dict()
         lines.append(
             f"{name:14s} skyline={result.size}  "
-            f"DT={counter.tests / n:10.2f}  "
-            f"RT={time.perf_counter() - started:7.1f}s"
+            f"DT={tallies['tests'] / n:10.2f}  "
+            f"RT={elapsed:7.1f}s"
         )
     with open(path, "w") as handle:
         handle.write("\n".join(lines) + "\n")

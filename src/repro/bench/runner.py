@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 
+from repro.algorithms.base import SkylineResult
 from repro.dataset import Dataset
 from repro.engine import SkylineEngine
+from repro.obs.clock import timed
+from repro.obs.trace import TracerLike, current_tracer
 from repro.stats.counters import DominanceCounter
 from repro.stats.metrics import MetricRow
 
@@ -36,6 +38,7 @@ def run_one(
     sigma: int | None = None,
     repeats: int = 1,
     engine: SkylineEngine | None = None,
+    tracer: TracerLike | None = None,
     **kwargs: object,
 ) -> MetricRow:
     """Run one algorithm on one dataset; elapsed time is the mean of repeats.
@@ -47,23 +50,44 @@ def run_one(
 
     Each repeat executes through a fresh (cold) :class:`SkylineEngine`, so
     numbers match the paper's one-shot protocol exactly.  Pass a shared
-    ``engine`` to measure the warm, prepared-cache path instead.
+    ``engine`` to measure the warm, prepared-cache path instead.  Every
+    repeat is timed by the same :func:`~repro.obs.clock.timed` helper as
+    :func:`~repro.algorithms.base.run_timed`, and each lands as one
+    ``repeat`` span on ``tracer`` (the ambient tracer when omitted).
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     host_options = kwargs or None
     counter = DominanceCounter()
-    run_engine = engine if engine is not None else SkylineEngine()
-    started = time.perf_counter()
-    result = run_engine.execute(
-        dataset, algorithm, sigma, counter=counter, host_options=host_options
-    )
-    elapsed = time.perf_counter() - started
-    for _ in range(repeats - 1):
+    tracer = tracer if tracer is not None else current_tracer()
+
+    def one_repeat(
+        repeat: int, repeat_counter: DominanceCounter | None
+    ) -> tuple[SkylineResult, float]:
         run_engine = engine if engine is not None else SkylineEngine()
-        started = time.perf_counter()
-        run_engine.execute(dataset, algorithm, sigma, host_options=host_options)
-        elapsed += time.perf_counter() - started
+        result, elapsed = timed(
+            lambda: run_engine.execute(
+                dataset,
+                algorithm,
+                sigma,
+                counter=repeat_counter,
+                host_options=host_options,
+            )
+        )
+        if tracer.enabled:
+            tracer.record(
+                "repeat",
+                elapsed,
+                algorithm=algorithm,
+                repeat=repeat,
+                cold=engine is None,
+            )
+        return result, elapsed
+
+    result, elapsed = one_repeat(0, counter)
+    for repeat in range(1, repeats):
+        _, lap = one_repeat(repeat, None)
+        elapsed += lap
     return MetricRow(
         algorithm=algorithm,
         dominance_tests=counter.tests,

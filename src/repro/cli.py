@@ -60,6 +60,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--explain", action="store_true", help="print the executed plan"
     )
+    run.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a Chrome trace-event JSON (chrome://tracing) of the run",
+    )
+    run.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write a flat JSON metrics dump (counters, caches, phases)",
+    )
+    run.add_argument(
+        "--phase-table",
+        action="store_true",
+        help="print the per-phase wall-time / dominance-test breakdown",
+    )
 
     sub.add_parser("algorithms", help="list available algorithm names")
 
@@ -120,7 +135,17 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     dataset = _load_or_generate(args)
     algorithm = None if args.algorithm.lower() == "auto" else args.algorithm
-    result = skyline(dataset, algorithm=algorithm, sigma=args.sigma)
+    observing = bool(args.trace or args.metrics or args.phase_table)
+    engine = None
+    if observing:
+        # Observability asked for: run through an engine whose context
+        # carries a live tracer (the default NullTracer records nothing).
+        from repro.engine import SkylineEngine
+        from repro.engine.context import ExecutionContext
+        from repro.obs import Tracer
+
+        engine = SkylineEngine(ExecutionContext(tracer=Tracer()))
+    result = skyline(dataset, algorithm=algorithm, sigma=args.sigma, engine=engine)
     print(f"dataset    : {dataset.describe()}")
     print(f"algorithm  : {result.algorithm}")
     print(f"skyline    : {result.size} points")
@@ -130,6 +155,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(result.plan.explain())
     if args.ids:
         print("ids        :", " ".join(str(i) for i in result.indices))
+    if observing and result.trace is not None:
+        from repro.obs import (
+            MetricsRegistry,
+            phase_table,
+            write_chrome_trace,
+            write_metrics,
+        )
+
+        if args.phase_table:
+            print(phase_table(result.trace))
+        if args.trace:
+            path = write_chrome_trace(result.trace, args.trace)
+            print(f"trace      : wrote {path}")
+        if args.metrics:
+            registry = MetricsRegistry()
+            registry.record_counter(result.counter)
+            registry.record_trace(result.trace)
+            registry.record("run.elapsed_s", result.elapsed_seconds)
+            registry.record("run.skyline_size", float(result.size))
+            registry.record("run.cardinality", float(result.cardinality))
+            registry.record("run.mean_dt", result.mean_dominance_tests)
+            if engine is not None:
+                registry.record_pool(engine.context.pool_stats())
+            path = write_metrics(registry.as_dict(), args.metrics)
+            print(f"metrics    : wrote {path}")
     return 0
 
 

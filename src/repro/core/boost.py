@@ -26,6 +26,7 @@ from repro.core.container import ListContainer, SkylineContainer, SubsetContaine
 from repro.core.merge import MergeResult, merge
 from repro.core.stability import default_threshold, validate_threshold
 from repro.dataset import Dataset
+from repro.obs.trace import current_tracer
 from repro.stats.counters import DominanceCounter
 
 if TYPE_CHECKING:  # import cycle: algorithms.base imports core.container
@@ -77,11 +78,19 @@ def run_unboosted_scan(
     all_ids = np.arange(dataset.cardinality, dtype=np.intp)
     masks = np.zeros(dataset.cardinality, dtype=np.int64)
     container = ListContainer(dataset.values)
-    if sort_cache is not None and getattr(host, "supports_sort_cache", False):
-        return host.run_phase(
-            dataset, all_ids, masks, container, counter, sort_cache=sort_cache
-        )
-    return host.run_phase(dataset, all_ids, masks, container, counter)
+    with current_tracer().span(
+        "scan",
+        counter=counter,
+        host=host.name,
+        container="list",
+        points=dataset.cardinality,
+        boosted=False,
+    ):
+        if sort_cache is not None and getattr(host, "supports_sort_cache", False):
+            return host.run_phase(
+                dataset, all_ids, masks, container, counter, sort_cache=sort_cache
+            )
+        return host.run_phase(dataset, all_ids, masks, container, counter)
 
 
 def run_boosted_scan(
@@ -117,6 +126,8 @@ def run_boosted_scan(
         sigma = default_threshold(d)
     validate_threshold(sigma, d)
 
+    tracer = current_tracer()
+    merge_cached = merged is not None
     if merged is None:
         merged = merge(dataset, sigma, counter, pivot_strategy=pivot_strategy)
     skyline = merged.initial_skyline_ids
@@ -133,19 +144,28 @@ def run_boosted_scan(
         # isolates the contribution of the subset index (Algs. 2-4)
         # from that of the merge pruning (Alg. 1).
         store = ListContainer(dataset.values)
-    if sort_cache is not None and getattr(host, "supports_sort_cache", False):
-        scan_skyline = host.run_phase(
-            dataset,
-            merged.remaining_ids,
-            masks,
-            store,
-            counter,
-            sort_cache=sort_cache,
-        )
-    else:
-        scan_skyline = host.run_phase(
-            dataset, merged.remaining_ids, masks, store, counter
-        )
+    with tracer.span(
+        "scan",
+        counter=counter,
+        host=host.name,
+        container=container,
+        points=int(merged.remaining_ids.size),
+        boosted=True,
+        merge_cached=merge_cached,
+    ):
+        if sort_cache is not None and getattr(host, "supports_sort_cache", False):
+            scan_skyline = host.run_phase(
+                dataset,
+                merged.remaining_ids,
+                masks,
+                store,
+                counter,
+                sort_cache=sort_cache,
+            )
+        else:
+            scan_skyline = host.run_phase(
+                dataset, merged.remaining_ids, masks, store, counter
+            )
     return [*skyline, *scan_skyline]
 
 

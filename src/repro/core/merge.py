@@ -31,8 +31,16 @@ from repro.core.stability import StabilityTracker, validate_threshold
 from repro.dataset import Dataset, as_dataset
 from repro.dominance import dominating_subspaces
 from repro.errors import InvalidParameterError
+from repro.obs.clock import Stopwatch
+from repro.obs.trace import TracerLike, current_tracer
 from repro.stats.counters import DominanceCounter
 from repro.structures import bitset
+
+#: Per-pivot ``merge.round`` records kept per Merge pass.  Exhausted runs
+#: can iterate thousands of times; rounds beyond this cap go unrecorded
+#: (the enclosing ``merge`` span still reports the true iteration count,
+#: so truncation is visible, not silent).
+_MAX_ROUND_RECORDS = 128
 
 
 @dataclass(frozen=True)
@@ -130,7 +138,31 @@ def merge(
             f"expected one of {PIVOT_STRATEGIES}"
         )
     counter = counter if counter is not None else DominanceCounter()
+    tracer = current_tracer()
+    with tracer.span(
+        "merge", counter=counter, sigma=sigma, n=n, d=d, strategy=pivot_strategy
+    ) as span:
+        result = _merge_body(
+            values, n, d, sigma, pivot_strategy, counter, tracer
+        )
+        span.set(
+            iterations=result.iterations,
+            pivots=len(result.pivot_ids),
+            remaining=int(result.remaining_ids.size),
+            exhausted=result.exhausted,
+        )
+    return result
 
+
+def _merge_body(
+    values: np.ndarray,
+    n: int,
+    d: int,
+    sigma: int,
+    pivot_strategy: str,
+    counter: DominanceCounter,
+    tracer: TracerLike,
+) -> MergeResult:
     # Distance to the minimum corner: the generalised "zero point" score.
     corner = values.min(axis=0)
     shifted = values - corner
@@ -162,6 +194,9 @@ def merge(
     stability = 0
     iterations = 0
     exhausted = False
+    # Per-round phase records are sampled only under an enabled tracer;
+    # the disabled path pays one boolean check per pivot.
+    rounds_watch = Stopwatch() if tracer.enabled else None
 
     while stability < sigma:
         if size == 0:
@@ -202,8 +237,18 @@ def merge(
         score_buf[:newsize] = score_buf[:size][keep]
         sums_buf[:newsize] = sums_buf[:size][keep]
         masks_buf[:newsize] = masks_buf[:size][keep]
+        removed = size - newsize
         size = newsize
         stability = tracker.update(np.bitwise_count(masks_buf[:size]))
+        if rounds_watch is not None and iterations <= _MAX_ROUND_RECORDS:
+            tracer.record(
+                "merge.round",
+                rounds_watch.lap(),
+                pivot=pivots[-1],
+                removed=removed,
+                remaining=size,
+                stability=stability,
+            )
 
     return MergeResult(
         pivot_ids=pivots,

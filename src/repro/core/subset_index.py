@@ -47,8 +47,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import DimensionMismatchError, InvalidParameterError
+from repro.obs.clock import timed
+from repro.obs.trace import current_tracer
 from repro.stats.counters import DominanceCounter
 from repro.structures import bitset
+
+#: Under an enabled tracer, one in this many index queries is timed and
+#: recorded as an ``index.query`` span.  Sampling bounds tracing overhead:
+#: a boosted scan issues one query per testing point, so tracing each one
+#: would dominate the cost being measured.
+_TRACE_SAMPLE = 64
 
 
 class _Node:
@@ -141,6 +149,13 @@ class SkylineIndex:
         self._hits = 0
         self._misses = 0
         self._invalidations = 0
+        # The ambient tracer is captured once at construction: the index
+        # lives inside one engine execution, and per-query ContextVar
+        # lookups would tax the hot path.  ``_trace_every == 0`` (the
+        # NullTracer default) short-circuits sampling to one int check.
+        self._tracer = current_tracer()
+        self._trace_every = _TRACE_SAMPLE if self._tracer.enabled else 0
+        self._trace_seen = 0
 
     @property
     def dimensionality(self) -> int:
@@ -208,6 +223,21 @@ class SkylineIndex:
         accesses, *not* dominance tests); a cache hit touches no nodes and
         records zero visits.
         """
+        if self._trace_every and self._sample():
+            ids, elapsed = timed(lambda: self._query(subspace, counter))
+            self._tracer.record(
+                "index.query",
+                elapsed,
+                subspace=subspace,
+                results=len(ids),
+                sampled_1_in=self._trace_every,
+            )
+            return ids
+        return self._query(subspace, counter)
+
+    def _query(
+        self, subspace: int, counter: DominanceCounter | None
+    ) -> list[int]:
         if not self._memoize:
             reversed_mask = self._reversed(subspace)
             ids, visited = self._traverse(reversed_mask)
@@ -216,6 +246,14 @@ class SkylineIndex:
             return ids
         entry = self._entry(subspace, counter)
         return entry.ids_list()
+
+    def _sample(self) -> bool:
+        """Down-counting sampler: True once every ``_trace_every`` calls."""
+        self._trace_seen += 1
+        if self._trace_seen >= self._trace_every:
+            self._trace_seen = 0
+            return True
+        return False
 
     def query_array(
         self, subspace: int, counter: DominanceCounter | None = None
@@ -226,8 +264,23 @@ class SkylineIndex:
         only when the entry grows), so containers can gather candidate
         blocks without re-materialising ids on every testing point.
         """
+        if self._trace_every and self._sample():
+            arr, elapsed = timed(lambda: self._query_array(subspace, counter))
+            self._tracer.record(
+                "index.query",
+                elapsed,
+                subspace=subspace,
+                results=int(arr.shape[0]),
+                sampled_1_in=self._trace_every,
+            )
+            return arr
+        return self._query_array(subspace, counter)
+
+    def _query_array(
+        self, subspace: int, counter: DominanceCounter | None
+    ) -> np.ndarray:
         if not self._memoize:
-            arr = np.asarray(self.query(subspace, counter), dtype=np.intp)
+            arr = np.asarray(self._query(subspace, counter), dtype=np.intp)
             arr.setflags(write=False)
             return arr
         return self._entry(subspace, counter).array()

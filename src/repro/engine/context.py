@@ -19,6 +19,7 @@ import numpy as np
 from repro.dataset import Dataset, as_dataset
 from repro.engine.prepared import PreparedDataset
 from repro.errors import InvalidParameterError
+from repro.obs.trace import NULL_TRACER, TracerLike
 from repro.stats.counters import DominanceCounter
 
 if TYPE_CHECKING:
@@ -41,6 +42,12 @@ class ExecutionContext:
         Distinct datasets kept prepared before FIFO eviction.
     workers:
         Default worker count for the lazily created process pool.
+    tracer:
+        The session's :class:`~repro.obs.trace.Tracer`; defaults to the
+        no-op :data:`~repro.obs.trace.NULL_TRACER`, which keeps execution
+        bit-identical and allocation-free.  The engine activates this
+        tracer around every ``execute`` and drains it into
+        ``SkylineResult.trace``.
 
     Attributes
     ----------
@@ -50,13 +57,17 @@ class ExecutionContext:
     """
 
     def __init__(
-        self, max_prepared: int = _MAX_PREPARED, workers: int | None = None
+        self,
+        max_prepared: int = _MAX_PREPARED,
+        workers: int | None = None,
+        tracer: TracerLike = NULL_TRACER,
     ) -> None:
         if max_prepared < 1:
             raise InvalidParameterError(
                 f"max_prepared must be >= 1, got {max_prepared}"
             )
         self.counter = DominanceCounter()
+        self.tracer = tracer
         self.runs_recorded = 0
         self._max_prepared = max_prepared
         self._workers = workers
@@ -122,6 +133,16 @@ class ExecutionContext:
                 self._pool = SkylineWorkerPool(self._workers)
                 self._owns_pool = True
         return self._pool
+
+    def pool_stats(self) -> dict[str, int]:
+        """Reuse stats of the context's pool; empty if none was created.
+
+        Read-only observability accessor (used by the CLI ``--metrics``
+        dump): it never triggers lazy pool creation.
+        """
+        if self._pool is None:
+            return {}
+        return dict(self._pool.stats)
 
     # -- lifecycle ----------------------------------------------------------
 

@@ -103,26 +103,43 @@ class SkylineEngine:
         provided) and ``result.plan`` is the executed plan; the run is also
         absorbed into ``context.counter``.
         """
-        prepared = self.prepare(data)
+        tracer = self.context.tracer
         run_counter = self.context.run_counter(counter)
-        if plan is None:
-            plan = self.planner.plan(
-                prepared,
-                algorithm,
-                sigma,
-                container=container,
-                pivot_strategy=pivot_strategy,
-                memoize=memoize,
-                workers=workers,
-                host_options=host_options,
-                counter=run_counter,
-            )
+        with tracer.activate():
+            with tracer.span("prepare", counter=run_counter):
+                prepared = self.prepare(data)
+            if plan is None:
+                with tracer.span("plan", counter=run_counter) as plan_span:
+                    plan = self.planner.plan(
+                        prepared,
+                        algorithm,
+                        sigma,
+                        container=container,
+                        pivot_strategy=pivot_strategy,
+                        memoize=memoize,
+                        workers=workers,
+                        host_options=host_options,
+                        counter=run_counter,
+                    )
+                    plan_span.set(label=plan.label)
 
-        def body(dataset: Dataset, body_counter: DominanceCounter) -> list[int]:
-            return self._run_plan(prepared, plan, dataset, body_counter)
+            executed: Plan = plan
 
-        result = run_timed(plan.label, prepared.dataset, run_counter, body)
-        result = replace(result, plan=plan)
+            def body(dataset: Dataset, body_counter: DominanceCounter) -> list[int]:
+                with tracer.span(
+                    "execute",
+                    counter=body_counter,
+                    algorithm=executed.label,
+                    sigma=executed.sigma,
+                    boosted=executed.boosted,
+                    workers=executed.workers,
+                    n=dataset.cardinality,
+                    d=dataset.dimensionality,
+                ):
+                    return self._run_plan(prepared, executed, dataset, body_counter)
+
+            result = run_timed(executed.label, prepared.dataset, run_counter, body)
+        result = replace(result, plan=executed, trace=tracer.drain())
         self.context.record(run_counter)
         return result
 

@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.merge import MergeResult, merge
 from repro.core.stability import default_threshold, validate_threshold
 from repro.dataset import Dataset, as_dataset
+from repro.obs.trace import current_tracer
 from repro.stats.counters import DominanceCounter
 from repro.stats.estimate import (
     correlation_signal,
@@ -195,6 +196,17 @@ class PreparedDataset:
         cached = self._merge_cache.get(key)
         if cached is not None:
             self._record(counter, hit=True)
+            tracer = current_tracer()
+            if tracer.enabled:
+                # The warm path skips Merge entirely; leave a zero-cost
+                # marker so traces distinguish "Merge reused" from a run
+                # that never needed Merge.
+                tracer.record(
+                    "merge.cached",
+                    0.0,
+                    sigma=sigma,
+                    pivots=len(cached.pivot_ids),  # type: ignore[attr-defined]
+                )
             return cached  # type: ignore[return-value]
         self._record(counter, hit=False)
         run_counter = counter if counter is not None else DominanceCounter()

@@ -38,6 +38,7 @@ import numpy as np
 from repro.algorithms.registry import get_algorithm
 from repro.dataset import Dataset, as_dataset
 from repro.errors import InvalidParameterError
+from repro.obs.trace import current_tracer
 from repro.stats.counters import DominanceCounter
 
 __all__ = [
@@ -266,19 +267,33 @@ def parallel_skyline(
         result = get_algorithm(algorithm).compute(dataset, counter=counter)
         return result.indices
 
+    tracer = current_tracer()
     bounds = np.linspace(0, n, workers + 1, dtype=int)
     pairs = [
         (int(lo), int(hi)) for lo, hi in zip(bounds, bounds[1:]) if hi > lo
     ]
     pool = pool if pool is not None else get_pool(workers)
-    locals_ = pool.map_blocks(dataset.values, pairs, algorithm)
+    with tracer.span(
+        "parallel.map",
+        counter=counter,
+        blocks=len(pairs),
+        algorithm=algorithm,
+        n=n,
+    ):
+        locals_ = pool.map_blocks(dataset.values, pairs, algorithm)
 
-    candidate_ids: list[int] = []
-    for (local_indices, tests), (lo, _hi) in zip(locals_, pairs):
-        counter.add(tests)
-        candidate_ids.extend((lo + local_indices).tolist())
-    candidates = np.asarray(sorted(candidate_ids), dtype=np.intp)
+        candidate_ids: list[int] = []
+        for (local_indices, tests), (lo, _hi) in zip(locals_, pairs):
+            counter.add(tests)
+            candidate_ids.extend((lo + local_indices).tolist())
+        candidates = np.asarray(sorted(candidate_ids), dtype=np.intp)
 
     union = Dataset(dataset.values[candidates], name=f"{dataset.name}[union]")
-    merged = get_algorithm(merge_algorithm).compute(union, counter=counter)
+    with tracer.span(
+        "parallel.merge",
+        counter=counter,
+        candidates=int(candidates.size),
+        algorithm=merge_algorithm,
+    ):
+        merged = get_algorithm(merge_algorithm).compute(union, counter=counter)
     return candidates[merged.indices]

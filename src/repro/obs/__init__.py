@@ -1,0 +1,67 @@
+"""``repro.obs`` — phase-level observability for the skyline stack.
+
+The paper's evaluation (Section 6) reasons in *phases*: Merge preprocessing
+cost, sort cost, scan-time dominance tests, subset-index traversal work.
+This package makes those phases observable at runtime without perturbing
+the numbers being observed:
+
+- :mod:`repro.obs.trace` — a hierarchical span :class:`Tracer` (plus the
+  allocation-free :class:`NullTracer` default) producing nested spans with
+  wall/CPU time and :class:`~repro.stats.counters.DominanceCounter` deltas
+  captured at span boundaries;
+- :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` flattening counter
+  tallies, cache hit rates, worker-pool reuse stats and per-phase timings
+  into one ``dict[str, float]``;
+- :mod:`repro.obs.export` — Chrome trace-event JSON
+  (``chrome://tracing``-loadable), plain-JSON metrics dumps and an ASCII
+  phase-breakdown table;
+- :mod:`repro.obs.clock` — the sanctioned raw-clock call sites (lint rule
+  RPR006 forbids ``time.perf_counter()`` elsewhere).
+
+Tracing is observation-only by contract: with tracing on or off, skyline
+ids and charged dominance tests are bit-identical (enforced by the
+``--strict`` analysis gate and ``tests/obs/test_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from repro.obs.clock import Stopwatch, timed
+from repro.obs.export import (
+    phase_table,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    PhaseStats,
+    Span,
+    Trace,
+    Tracer,
+    TracerLike,
+    aggregate_phases,
+    current_tracer,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PhaseStats",
+    "Span",
+    "Stopwatch",
+    "Trace",
+    "Tracer",
+    "TracerLike",
+    "aggregate_phases",
+    "current_tracer",
+    "phase_table",
+    "timed",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics",
+]

@@ -1,0 +1,68 @@
+"""Shared timing primitives — the sanctioned raw-clock call sites.
+
+Lint rule RPR006 forbids ``time.perf_counter()`` outside ``repro.obs`` and
+``algorithms/base.py`` so every measurement flows through one definition of
+"elapsed": :func:`timed` for one-shot bodies (``run_timed``, the bench
+runner's cold/warm repeats) and :class:`Stopwatch` for incremental laps
+(the Merge loop's per-round phase records).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from typing import TypeVar
+
+__all__ = ["Stopwatch", "timed"]
+
+_T = TypeVar("_T")
+
+
+def timed(body: Callable[[], _T]) -> tuple[_T, float]:
+    """Run ``body`` and return ``(result, elapsed_wall_seconds)``.
+
+    The single definition of a timed run shared by
+    :func:`~repro.algorithms.base.run_timed` and the benchmark runners, so
+    cold/warm timing semantics live in one place: the clock starts
+    immediately before the body and stops immediately after — setup
+    (engine construction, dataset generation) is never inside the window.
+
+    >>> value, elapsed = timed(lambda: 2 + 2)
+    >>> value, elapsed >= 0.0
+    (4, True)
+    """
+    started = time.perf_counter()
+    result = body()
+    return result, time.perf_counter() - started
+
+
+class Stopwatch:
+    """An incremental wall-clock: :meth:`lap` returns-and-restarts.
+
+    Used for attributing consecutive segments of one loop (e.g. Merge's
+    pivot rounds) without re-entering a context manager per segment.
+
+    >>> watch = Stopwatch()
+    >>> watch.lap() >= 0.0 and watch.elapsed() >= 0.0
+    True
+    """
+
+    __slots__ = ("_started",)
+
+    def __init__(self) -> None:
+        self._started = time.perf_counter()
+
+    def lap(self) -> float:
+        """Seconds since construction or the previous lap; restarts the clock."""
+        now = time.perf_counter()
+        elapsed = now - self._started
+        self._started = now
+        return elapsed
+
+    def elapsed(self) -> float:
+        """Seconds since construction or the previous lap (clock keeps running)."""
+        return time.perf_counter() - self._started
+
+    def restart(self) -> None:
+        """Restart the clock without reading it."""
+        self._started = time.perf_counter()

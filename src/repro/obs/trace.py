@@ -1,0 +1,375 @@
+"""Hierarchical span tracing for the skyline stack.
+
+One :class:`Tracer` collects a tree of :class:`Span` records — name,
+attributes, start offset, wall/CPU duration, and the
+:class:`~repro.stats.counters.DominanceCounter` delta between span entry
+and exit — so a run can be decomposed into the paper's phases (Merge,
+sort, scan, index traversal) after the fact.  The default is the
+:data:`NULL_TRACER` singleton: every method is a no-op, ``span()`` returns
+one shared context manager, and hot-path call sites gate their
+per-event work on :attr:`Tracer.enabled`, so the disabled path performs no
+per-event allocation and results stay bit-identical with tracing on or
+off (tracing reads counters at boundaries; it never writes them).
+
+The *current* tracer is ambient (a :mod:`contextvars` variable) so deep
+layers — ``core.merge``, ``core.boost``, ``core.subset_index``,
+``extensions.parallel`` — can emit spans without threading a tracer
+parameter through every signature.  :class:`~repro.engine.SkylineEngine`
+activates its context's tracer around each run; code running outside an
+activation sees the null tracer and pays nothing.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from time import perf_counter, process_time
+from typing import TYPE_CHECKING, Iterator, Union
+
+if TYPE_CHECKING:
+    from repro.stats.counters import DominanceCounter
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "PhaseStats",
+    "Span",
+    "Trace",
+    "Tracer",
+    "TracerLike",
+    "aggregate_phases",
+    "current_tracer",
+]
+
+
+@dataclass
+class Span:
+    """One traced phase: name, attributes, timing and counter delta.
+
+    Attributes
+    ----------
+    name:
+        Phase name (``"merge"``, ``"sort"``, ``"scan"``, ...).
+    attrs:
+        Caller-supplied key/value annotations (σ, host name, point counts).
+    start_s:
+        Wall-clock offset of span entry, relative to the tracer's origin.
+    wall_s, cpu_s:
+        Wall and process-CPU duration of the span.
+    counter_delta:
+        Non-zero differences of the bound counter's
+        :meth:`~repro.stats.counters.DominanceCounter.as_dict` between span
+        exit and entry — e.g. ``{"tests": 512.0}`` is the dominance tests
+        *charged inside this phase*.
+    children:
+        Nested spans, in completion order.
+    """
+
+    name: str
+    attrs: dict[str, object] = field(default_factory=dict)
+    start_s: float = 0.0
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    counter_delta: dict[str, float] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    def set(self, **attrs: object) -> None:
+        """Attach (or overwrite) attributes on an open or closed span."""
+        self.attrs.update(attrs)
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "Span"]]:
+        """Depth-first ``(depth, span)`` pairs over this span and descendants."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+
+@dataclass
+class Trace:
+    """The completed span forest of one run (see :meth:`Tracer.drain`)."""
+
+    roots: list[Span]
+
+    def walk(self) -> Iterator[tuple[int, Span]]:
+        """Depth-first ``(depth, span)`` pairs over every root."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def spans(self) -> Iterator[Span]:
+        """Every span, depth-first."""
+        for _depth, span in self.walk():
+            yield span
+
+    def find(self, name: str) -> list[Span]:
+        """All spans named ``name``, depth-first order."""
+        return [span for span in self.spans() if span.name == name]
+
+    @property
+    def wall_s(self) -> float:
+        """Total wall time of the root spans."""
+        return sum(root.wall_s for root in self.roots)
+
+
+class _OpenSpan:
+    """Context manager driving one span's entry/exit bookkeeping."""
+
+    __slots__ = ("_tracer", "span", "_counter", "_before", "_t0", "_c0")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span: Span,
+        counter: "DominanceCounter | None",
+    ) -> None:
+        self._tracer = tracer
+        self.span = span
+        self._counter = counter
+        self._before: dict[str, float] | None = None
+        self._t0 = 0.0
+        self._c0 = 0.0
+
+    def __enter__(self) -> Span:
+        self._tracer._stack.append(self.span)
+        if self._counter is not None:
+            self._before = self._counter.as_dict()
+        self._c0 = process_time()
+        self._t0 = perf_counter()
+        self.span.start_s = self._t0 - self._tracer._origin
+        return self.span
+
+    def __exit__(self, *exc: object) -> None:
+        wall = perf_counter() - self._t0
+        cpu = process_time() - self._c0
+        span = self.span
+        span.wall_s = wall
+        span.cpu_s = cpu
+        if self._counter is not None and self._before is not None:
+            before = self._before
+            span.counter_delta = {
+                key: value - before.get(key, 0.0)
+                for key, value in self._counter.as_dict().items()
+                if value != before.get(key, 0.0)
+            }
+        stack = self._tracer._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        self._tracer._attach(span)
+
+
+class Tracer:
+    """Collects nested spans; one instance per traced session.
+
+    >>> from repro.stats.counters import DominanceCounter
+    >>> tracer = Tracer()
+    >>> counter = DominanceCounter()
+    >>> with tracer.span("execute", counter=counter) as outer:
+    ...     with tracer.span("merge", sigma=2):
+    ...         counter.add(5)
+    >>> trace = tracer.drain()
+    >>> [span.name for span in trace.spans()]
+    ['execute', 'merge']
+    >>> trace.roots[0].counter_delta
+    {'tests': 5.0}
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._origin = perf_counter()
+        self._roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(
+        self,
+        name: str,
+        counter: "DominanceCounter | None" = None,
+        **attrs: object,
+    ) -> _OpenSpan:
+        """A context manager opening a nested span named ``name``.
+
+        ``counter`` (when given) is snapshotted at entry and exit; the
+        non-zero differences land in :attr:`Span.counter_delta`.  Keyword
+        arguments become the span's initial attributes; the yielded
+        :class:`Span` accepts more via :meth:`Span.set`.
+        """
+        return _OpenSpan(self, Span(name=name, attrs=dict(attrs)), counter)
+
+    def record(self, name: str, wall_s: float, **attrs: object) -> None:
+        """Append an already-measured span (no context-manager overhead).
+
+        Used by sampled hot-path instrumentation (subset-index queries,
+        Merge rounds) where opening a context manager per event would
+        distort the numbers being measured.
+        """
+        span = Span(
+            name=name,
+            attrs=dict(attrs),
+            start_s=perf_counter() - self._origin - wall_s,
+            wall_s=wall_s,
+        )
+        self._attach(span)
+
+    def _attach(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self._roots.append(span)
+
+    @contextmanager
+    def activate(self) -> Iterator["Tracer"]:
+        """Install this tracer as the ambient :func:`current_tracer`."""
+        token = _CURRENT.set(self)
+        try:
+            yield self
+        finally:
+            _CURRENT.reset(token)
+
+    def drain(self) -> Trace:
+        """Detach the completed root spans as a :class:`Trace` and reset.
+
+        Open spans stay on the stack, so a long-lived tracer can be
+        drained per run (the engine drains after every ``execute``).
+        """
+        roots = self._roots
+        self._roots = []
+        return Trace(roots=roots)
+
+    def __repr__(self) -> str:
+        return f"Tracer(roots={len(self._roots)}, open={len(self._stack)})"
+
+
+class _NullSpan:
+    """The shared no-op span/context manager of the null tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set(self, **attrs: object) -> None:
+        """No-op."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    ``span()`` returns one process-wide shared context manager and
+    ``record()`` does nothing, so the disabled path performs no per-event
+    allocation.  Hot loops additionally gate their instrumentation on
+    :attr:`enabled` (``False`` here), paying a single integer check per
+    event.
+    """
+
+    enabled: bool = False
+
+    __slots__ = ()
+
+    def span(
+        self,
+        name: str,
+        counter: "DominanceCounter | None" = None,
+        **attrs: object,
+    ) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record(self, name: str, wall_s: float, **attrs: object) -> None:
+        return None
+
+    def activate(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def drain(self) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+#: The process-wide disabled tracer; also the default ambient tracer.
+NULL_TRACER = NullTracer()
+
+TracerLike = Union[Tracer, NullTracer]
+
+_CURRENT: ContextVar[TracerLike] = ContextVar("repro_obs_tracer", default=NULL_TRACER)
+
+
+def current_tracer() -> TracerLike:
+    """The ambient tracer: the innermost :meth:`Tracer.activate`, else
+    :data:`NULL_TRACER`."""
+    return _CURRENT.get()
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Aggregated statistics of every span sharing one phase path.
+
+    Sibling spans with the same name (e.g. 23 ``merge.round`` records, 10
+    ``repeat`` spans) collapse into one row: ``calls`` counts them,
+    ``wall_s``/``cpu_s``/``counter_delta`` sum over them.
+    """
+
+    path: tuple[str, ...]
+    calls: int
+    wall_s: float
+    cpu_s: float
+    counter_delta: dict[str, float]
+
+    @property
+    def name(self) -> str:
+        return self.path[-1]
+
+    @property
+    def depth(self) -> int:
+        return len(self.path) - 1
+
+    @property
+    def dominance_tests(self) -> float:
+        """The dominance tests charged inside this phase (``ΔDT``)."""
+        return self.counter_delta.get("tests", 0.0)
+
+
+def aggregate_phases(trace: Trace) -> list[PhaseStats]:
+    """Collapse a trace into per-phase-path rows, first-visit order.
+
+    Shared by :meth:`~repro.obs.metrics.MetricsRegistry.record_trace` and
+    :func:`~repro.obs.export.phase_table` so the metrics dump and the
+    ASCII table always agree on phase naming.
+    """
+    order: list[tuple[str, ...]] = []
+    rows: dict[tuple[str, ...], dict[str, object]] = {}
+
+    def visit(span: Span, prefix: tuple[str, ...]) -> None:
+        path = (*prefix, span.name)
+        row = rows.get(path)
+        if row is None:
+            row = {"calls": 0, "wall_s": 0.0, "cpu_s": 0.0, "delta": {}}
+            rows[path] = row
+            order.append(path)
+        row["calls"] = int(row["calls"]) + 1  # type: ignore[call-overload]
+        row["wall_s"] = float(row["wall_s"]) + span.wall_s  # type: ignore[arg-type]
+        row["cpu_s"] = float(row["cpu_s"]) + span.cpu_s  # type: ignore[arg-type]
+        delta: dict[str, float] = row["delta"]  # type: ignore[assignment]
+        for key, value in span.counter_delta.items():
+            delta[key] = delta.get(key, 0.0) + value
+        for child in span.children:
+            visit(child, path)
+
+    for root in trace.roots:
+        visit(root, ())
+    return [
+        PhaseStats(
+            path=path,
+            calls=int(rows[path]["calls"]),  # type: ignore[call-overload]
+            wall_s=float(rows[path]["wall_s"]),  # type: ignore[arg-type]
+            cpu_s=float(rows[path]["cpu_s"]),  # type: ignore[arg-type]
+            counter_delta=dict(rows[path]["delta"]),  # type: ignore[call-overload]
+        )
+        for path in order
+    ]

@@ -103,6 +103,44 @@ class DominanceCounter:
         for key, value in other.extras.items():
             self.extras[key] = self.extras.get(key, 0.0) + value
 
+    def as_dict(self) -> dict[str, float]:
+        """Every tally as a flat mapping with stable key order.
+
+        Scalar fields come first in declaration order, then ``extras``
+        entries (sorted) under an ``extras.`` prefix.  This is the single
+        serialisation of a counter — the metrics registry, the bench
+        report and the CLI all consume it, so two snapshots can be
+        compared key-by-key (span boundaries diff them to attribute
+        dominance tests per phase).
+        """
+        out: dict[str, float] = {
+            "tests": float(self.tests),
+            "index_queries": float(self.index_queries),
+            "index_nodes_visited": float(self.index_nodes_visited),
+            "index_cache_hits": float(self.index_cache_hits),
+            "index_cache_misses": float(self.index_cache_misses),
+            "index_cache_invalidations": float(self.index_cache_invalidations),
+            "prepared_cache_hits": float(self.prepared_cache_hits),
+            "prepared_cache_misses": float(self.prepared_cache_misses),
+        }
+        for key, value in sorted(self.extras.items()):
+            out[f"extras.{key}"] = float(value)
+        return out
+
+    def snapshot(self) -> "DominanceCounter":
+        """An independent copy of the current tallies."""
+        return DominanceCounter(
+            tests=self.tests,
+            index_queries=self.index_queries,
+            index_nodes_visited=self.index_nodes_visited,
+            index_cache_hits=self.index_cache_hits,
+            index_cache_misses=self.index_cache_misses,
+            index_cache_invalidations=self.index_cache_invalidations,
+            prepared_cache_hits=self.prepared_cache_hits,
+            prepared_cache_misses=self.prepared_cache_misses,
+            extras=dict(self.extras),
+        )
+
     def mean_tests(self, cardinality: int) -> float:
         """The paper's mean dominance test number: ``tests / N``."""
         if cardinality <= 0:

@@ -249,7 +249,14 @@ class TestEngine:
         assert {f.rule for f in only_bitmask} == {"RPR002"}
 
     def test_rule_codes_catalogue(self):
-        assert rule_codes() == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005"]
+        assert rule_codes() == [
+            "RPR001",
+            "RPR002",
+            "RPR003",
+            "RPR004",
+            "RPR005",
+            "RPR006",
+        ]
 
 
 class TestRPR005HandWiredBoost:
@@ -296,5 +303,71 @@ class TestRPR005HandWiredBoost:
                 return SubsetBoost(host)  # noqa: RPR005
             """,
             select=["RPR005"],
+        )
+        assert findings == []
+
+
+class TestRPR006RawClockRead:
+    CLOCK_SOURCE = """
+    import time
+
+    def f(body):
+        started = time.perf_counter()
+        body()
+        return time.perf_counter() - started
+    """
+
+    def test_flags_raw_perf_counter(self, tmp_path):
+        findings = lint_source(tmp_path, self.CLOCK_SOURCE, select=["RPR006"])
+        assert [f.rule for f in findings] == ["RPR006", "RPR006"]
+        assert "repro.obs.clock" in findings[0].message
+
+    def test_flags_process_time_and_bare_name(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            from time import perf_counter, process_time
+
+            def f():
+                return perf_counter(), process_time()
+            """,
+            select=["RPR006"],
+        )
+        assert [f.rule for f in findings] == ["RPR006", "RPR006"]
+
+    def test_obs_and_base_own_the_clocks(self, tmp_path):
+        for filename in (
+            "repro/obs/clock.py",
+            "repro/obs/trace.py",
+            "repro/algorithms/base.py",
+        ):
+            findings = lint_source(
+                tmp_path, self.CLOCK_SOURCE, filename=filename, select=["RPR006"]
+            )
+            assert findings == []
+
+    def test_noqa_escape_hatch(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def f():
+                return time.perf_counter()  # noqa: RPR006
+            """,
+            select=["RPR006"],
+        )
+        assert findings == []
+
+    def test_monotonic_is_allowed(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def f(deadline):
+                return time.monotonic() < deadline
+            """,
+            select=["RPR006"],
         )
         assert findings == []

@@ -1,0 +1,120 @@
+"""Exporters: Chrome trace-event JSON, metrics JSON, the ASCII phase table."""
+
+import json
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs.export import (
+    phase_table,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.trace import Trace, Tracer
+from repro.stats.counters import DominanceCounter
+
+
+def make_trace():
+    tracer = Tracer()
+    counter = DominanceCounter()
+    with tracer.span("execute", counter=counter, algorithm="sdi-subset"):
+        with tracer.span("merge", counter=counter, sigma=2):
+            counter.add(100)
+        with tracer.span("scan", counter=counter):
+            counter.add(400)
+    return tracer.drain()
+
+
+class TestChromeTrace:
+    def test_one_complete_event_per_span(self):
+        document = to_chrome_trace(make_trace())
+        events = document["traceEvents"]
+        assert [event["name"] for event in events] == ["execute", "merge", "scan"]
+        assert all(event["ph"] == "X" for event in events)
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_categories_split_roots_from_phases(self):
+        events = to_chrome_trace(make_trace())["traceEvents"]
+        assert events[0]["cat"] == "skyline"
+        assert {event["cat"] for event in events[1:]} == {"phase"}
+
+    def test_timestamps_are_microseconds(self):
+        trace = make_trace()
+        (execute,) = trace.roots
+        event = to_chrome_trace(trace)["traceEvents"][0]
+        assert event["ts"] == round(execute.start_s * 1e6, 3)
+        assert event["dur"] == round(execute.wall_s * 1e6, 3)
+
+    def test_args_carry_attrs_and_deltas(self):
+        events = to_chrome_trace(make_trace())["traceEvents"]
+        merge_args = events[1]["args"]
+        assert merge_args["sigma"] == 2
+        assert merge_args["delta.tests"] == 100.0
+
+    def test_roundtrip_through_file_validates(self, tmp_path):
+        path = write_chrome_trace(make_trace(), tmp_path / "trace.json")
+        document = json.loads(path.read_text())
+        assert validate_chrome_trace(document) == 3
+
+
+class TestValidateChromeTrace:
+    def test_rejects_non_object(self):
+        with pytest.raises(InvalidParameterError, match="JSON object"):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_events_array(self):
+        with pytest.raises(InvalidParameterError, match="traceEvents"):
+            validate_chrome_trace({"traceEvents": "nope"})
+
+    def test_rejects_mistyped_event_field(self):
+        document = {
+            "traceEvents": [{"name": "x", "ph": "X", "ts": "soon", "pid": 1, "tid": 1}]
+        }
+        with pytest.raises(InvalidParameterError, match="'ts'"):
+            validate_chrome_trace(document)
+
+    def test_rejects_complete_event_without_dur(self):
+        document = {
+            "traceEvents": [{"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 1}]
+        }
+        with pytest.raises(InvalidParameterError, match="dur"):
+            validate_chrome_trace(document)
+
+    def test_accepts_empty_trace(self):
+        assert validate_chrome_trace({"traceEvents": []}) == 0
+
+
+class TestWriteMetrics:
+    def test_writes_sorted_pretty_json(self, tmp_path):
+        path = write_metrics({"z": 1.0, "a": 2.0}, tmp_path / "metrics.json")
+        text = path.read_text()
+        assert json.loads(text) == {"a": 2.0, "z": 1.0}
+        assert text.index('"a"') < text.index('"z"')
+        assert text.endswith("\n")
+
+
+class TestPhaseTable:
+    def test_rows_indent_by_depth_with_bars(self):
+        table = phase_table(make_trace())
+        lines = table.splitlines()
+        assert lines[0].startswith("phase")
+        assert any(line.startswith("execute") for line in lines)
+        assert any(line.startswith("  merge") for line in lines)
+        assert any(line.startswith("  scan") for line in lines)
+        assert "#" in lines[-1] or "#" in lines[-2]
+
+    def test_dominance_deltas_appear(self):
+        table = phase_table(make_trace())
+        merge_line = next(
+            line for line in table.splitlines() if line.lstrip().startswith("merge")
+        )
+        assert "100" in merge_line
+
+    def test_empty_trace_placeholder(self):
+        assert phase_table(Trace(roots=[])) == "(empty trace)"
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(InvalidParameterError, match="width"):
+            phase_table(make_trace(), width=0)

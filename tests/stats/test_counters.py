@@ -42,3 +42,61 @@ class TestDominanceCounter:
         assert counter.index_queries == 0
         assert counter.index_nodes_visited == 0
         assert counter.extras == {}
+
+
+class TestAsDict:
+    def test_scalar_fields_in_declaration_order(self):
+        counter = DominanceCounter(tests=5, prepared_cache_hits=2)
+        tallies = counter.as_dict()
+        assert list(tallies) == [
+            "tests",
+            "index_queries",
+            "index_nodes_visited",
+            "index_cache_hits",
+            "index_cache_misses",
+            "index_cache_invalidations",
+            "prepared_cache_hits",
+            "prepared_cache_misses",
+        ]
+        assert tallies["tests"] == 5.0
+        assert tallies["prepared_cache_hits"] == 2.0
+
+    def test_values_are_floats(self):
+        tallies = DominanceCounter(tests=3).as_dict()
+        assert all(type(value) is float for value in tallies.values())
+
+    def test_extras_sorted_under_prefix_after_scalars(self):
+        counter = DominanceCounter()
+        counter.extras["zeta"] = 1.0
+        counter.extras["alpha"] = 2.0
+        keys = list(counter.as_dict())
+        assert keys[-2:] == ["extras.alpha", "extras.zeta"]
+
+    def test_two_snapshots_diff_key_by_key(self):
+        counter = DominanceCounter()
+        before = counter.as_dict()
+        counter.add(9)
+        counter.add_cache_hit()
+        delta = {
+            key: value - before[key]
+            for key, value in counter.as_dict().items()
+            if value != before[key]
+        }
+        assert delta == {"tests": 9.0, "index_cache_hits": 1.0}
+
+
+class TestSnapshot:
+    def test_snapshot_copies_every_tally(self):
+        counter = DominanceCounter(tests=4, index_queries=2)
+        counter.extras["x"] = 1.5
+        copy = counter.snapshot()
+        assert copy == counter
+
+    def test_snapshot_is_independent(self):
+        counter = DominanceCounter(tests=1)
+        counter.extras["x"] = 1.0
+        copy = counter.snapshot()
+        counter.add(10)
+        counter.extras["x"] = 99.0
+        assert copy.tests == 1
+        assert copy.extras == {"x": 1.0}
