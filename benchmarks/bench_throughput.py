@@ -1,4 +1,4 @@
-"""Scan-phase throughput: batched subset-boosted scans vs the scalar path.
+"""Scan-phase throughput: batched scans, index backends, block-parallel.
 
 Isolates the *scan phase* of the boosted pipeline — Merge (Algorithm 1)
 runs once, outside the timed region, then each host's ``run_phase`` is
@@ -9,20 +9,24 @@ timed repeatedly with a fresh container per repeat:
   reference path, kept behind ``SDI(batched=False)`` /
   ``SubsetContainer(memoize=False)``;
 - **batched**: memoized queries, cached contiguous candidate blocks and
-  SDI's incrementally maintained sorted views.
+  SDI's incrementally maintained sorted views;
+- **flat vs map**: the batched scan on both subset-index backends — the
+  map prefix tree versus :class:`~repro.core.flat_index.FlatSubsetIndex`'s
+  vectorised struct-of-arrays filter.
 
-Both paths must produce the identical skyline and charge the identical
-dominance-test count — the script exits non-zero otherwise, so it doubles
-as an equivalence gate.  Results land in ``BENCH_throughput.json``.
+Every pair of paths must produce the identical skyline and charge the
+identical dominance-test count — the script exits non-zero otherwise, so
+it doubles as an equivalence gate.  The ``block_parallel`` scenario runs
+the engine's block-parallel plan (local boosted skylines on the worker
+pool, merge through a shared flat index) against the serial flat scan; its
+wall-clock gate only applies when the host actually has the CPUs.
 
-A second scenario benchmarks the engine's prepared caches under the
-ROADMAP's target workload: one dataset, 50 skyline queries cycling over a
-handful of subspaces.  The *cold* path uses a fresh
-:class:`~repro.engine.SkylineEngine` per query (no shared state, the
-pre-engine behaviour); the *warm* path shares one engine, so repeated
-subspaces are served from cached views, Merge results and sort orders.
-Both paths must return identical skylines, and the warm path must be at
-least 2x faster in aggregate.
+Results land in ``BENCH_throughput.json`` as *schema version 2*: one
+``scenarios`` mapping keyed by scenario name + configuration.  Re-running
+any configuration upserts its entry in place — the file no longer grows
+with duplicate appends — and entries from other configurations (e.g. a
+``--quick`` CI run next to a paper-scale run) coexist under their own
+keys.
 
 Usage::
 
@@ -34,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -54,6 +59,8 @@ from repro.engine.context import ExecutionContext
 from repro.obs import Tracer, aggregate_phases
 from repro.stats.counters import DominanceCounter
 
+SCHEMA_VERSION = 2
+
 #: host name -> (scalar factory, batched factory)
 HOSTS = {
     "sdi": (lambda: SDI(batched=False), lambda: SDI(batched=True)),
@@ -61,8 +68,57 @@ HOSTS = {
     "salsa": (SaLSa, SaLSa),
 }
 
+#: Best-of-3 batched map-index scan times recorded by PR 2 on the
+#: canonical cold single-query scenario (UI, n=100k, d=8, seed=0).  The
+#: flat-backend gate (>= 1.5x, geometric mean across hosts) is measured
+#: against these fixed baselines so the comparison survives later
+#: map-index improvements.
+PR2_BATCHED_BASELINE_S = {"sdi": 2.168256, "sfs": 2.805391, "salsa": 3.927047}
+PR2_BASELINE_CONFIG = ("UI", 100_000, 8, 0)
+FLAT_GATE_SPEEDUP = 1.5
+PARALLEL_GATE_SPEEDUP = 2.0
 
-def time_scan_phase(dataset, merged, host_factory, memoize, repeats):
+
+# -- schema v2 report file --------------------------------------------------
+
+
+def load_report(path: Path) -> dict:
+    """The existing schema-v2 report, or a fresh empty one.
+
+    Legacy (pre-v2) files — a single flat report dict — are discarded
+    rather than merged: their entries carried no scenario keys, which is
+    exactly the duplication bug the keyed schema fixes.
+    """
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            data = None
+        if (
+            isinstance(data, dict)
+            and data.get("schema_version") == SCHEMA_VERSION
+            and isinstance(data.get("scenarios"), dict)
+        ):
+            return data
+    return {"schema_version": SCHEMA_VERSION, "scenarios": {}}
+
+
+def scenario_key(name: str, kind: str, n: int, d: int, seed: int) -> str:
+    """The upsert key: scenario name + the configuration that shaped it."""
+    return f"{name}|{kind}|n={n}|d={d}|seed={seed}"
+
+
+def upsert(report: dict, key: str, entry: dict) -> None:
+    entry["recorded_unix"] = int(time.time())
+    report["scenarios"][key] = entry
+
+
+# -- scenario: batched vs scalar --------------------------------------------
+
+
+def time_scan_phase(
+    dataset, merged, host_factory, memoize, repeats, index_backend="map"
+):
     """Best-of-``repeats`` wall clock of one host's scan phase."""
     d = dataset.dimensionality
     masks = np.zeros(dataset.cardinality, dtype=np.int64)
@@ -72,7 +128,9 @@ def time_scan_phase(dataset, merged, host_factory, memoize, repeats):
     counter = DominanceCounter()
     for _ in range(repeats):
         counter = DominanceCounter()
-        container = SubsetContainer(dataset.values, d, counter, memoize=memoize)
+        container = SubsetContainer(
+            dataset.values, d, counter, memoize=memoize, backend=index_backend
+        )
         host = host_factory()
         start = time.perf_counter()
         skyline = host.run_phase(
@@ -82,7 +140,7 @@ def time_scan_phase(dataset, merged, host_factory, memoize, repeats):
     return skyline, counter, best
 
 
-def run(kind, n, d, seed, repeats):
+def run_batched_vs_scalar(kind, n, d, seed, repeats):
     dataset = generate(kind, n=n, d=d, seed=seed)
     sigma = default_threshold(d)
     counter = DominanceCounter()
@@ -133,7 +191,178 @@ def run(kind, n, d, seed, repeats):
             f"{marker}"
         )
     report["identical"] = ok
-    return report, ok
+    return (dataset, merged), report, ok
+
+
+# -- scenario: flat vs map index backend ------------------------------------
+
+
+def run_flat_vs_map(prepared_pair, kind, n, d, seed, repeats):
+    """Cold single-query scan phase on both subset-index backends.
+
+    Gate: on the canonical configuration, the geometric mean across hosts
+    of (PR 2 batched map baseline / flat time) must reach
+    ``FLAT_GATE_SPEEDUP``; identical skylines and charged dominance tests
+    are required on every configuration.
+    """
+    dataset, merged = prepared_pair
+    canonical = (kind, n, d, seed) == PR2_BASELINE_CONFIG
+    report = {
+        "config": {"kind": kind, "n": n, "d": d, "seed": seed, "repeats": repeats},
+        "hosts": {},
+        "baseline": "pr2_batched_map" if canonical else None,
+    }
+    ok = True
+    ratios = []
+    for name, (_scalar, batched_factory) in HOSTS.items():
+        map_sky, map_counter, map_s = time_scan_phase(
+            dataset,
+            merged,
+            batched_factory,
+            memoize=True,
+            repeats=repeats,
+            index_backend="map",
+        )
+        flat_sky, flat_counter, flat_s = time_scan_phase(
+            dataset,
+            merged,
+            batched_factory,
+            memoize=True,
+            repeats=repeats,
+            index_backend="flat",
+        )
+        identical = (
+            map_sky == flat_sky and map_counter.tests == flat_counter.tests
+        )
+        ok = ok and identical
+        entry = {
+            "map_s": round(map_s, 6),
+            "flat_s": round(flat_s, 6),
+            "speedup_vs_map": round(map_s / flat_s, 3) if flat_s else None,
+            "skyline_size": len(flat_sky),
+            "dominance_tests": flat_counter.tests,
+            "map_dominance_tests": map_counter.tests,
+            "flat_cache_hits": flat_counter.index_cache_hits,
+            "flat_cache_misses": flat_counter.index_cache_misses,
+            "identical": identical,
+        }
+        if canonical and flat_s:
+            baseline = PR2_BATCHED_BASELINE_S[name]
+            entry["pr2_batched_s"] = baseline
+            entry["speedup_vs_pr2"] = round(baseline / flat_s, 3)
+            ratios.append(baseline / flat_s)
+        report["hosts"][name] = entry
+        marker = "" if identical else "  <-- MISMATCH"
+        print(
+            f"{name:>6}: map {map_s:8.4f}s  flat {flat_s:8.4f}s  "
+            f"vs-map {entry['speedup_vs_map']:>6}x  "
+            + (
+                f"vs-PR2 {entry['speedup_vs_pr2']:>6}x"
+                if "speedup_vs_pr2" in entry
+                else ""
+            )
+            + marker
+        )
+    report["identical"] = ok
+    gate_ok = ok
+    if canonical and ratios:
+        geomean = float(np.exp(np.mean(np.log(ratios))))
+        report["geomean_speedup_vs_pr2"] = round(geomean, 3)
+        report["gate_speedup"] = FLAT_GATE_SPEEDUP
+        report["gate_pass"] = bool(ok and geomean >= FLAT_GATE_SPEEDUP)
+        gate_ok = report["gate_pass"]
+        print(
+            f"  flat gate: geomean {geomean:.3f}x vs PR2 baselines "
+            f"(need >= {FLAT_GATE_SPEEDUP}x): "
+            + ("PASS" if gate_ok else "FAIL")
+        )
+    return report, gate_ok
+
+
+# -- scenario: block-parallel vs serial flat --------------------------------
+
+
+def run_block_parallel(kind, n, d, seed, workers, algorithm="sdi-subset"):
+    """Engine block-parallel plan vs the serial flat-backend plan.
+
+    Both paths pin ``index_backend="flat"``: the serial plan scans through
+    one flat index, the parallel plan computes block-local boosted
+    skylines on the worker pool and merges the union of survivors through
+    a shared flat index.  Skylines must match; the >= 2x wall-clock gate
+    applies only when the host has at least ``workers`` CPUs (a
+    single-core container cannot speed anything up by adding processes —
+    the honest number is recorded either way).
+    """
+    dataset = generate(kind, n=n, d=d, seed=seed)
+    cpus = os.cpu_count() or 1
+
+    serial_counter = DominanceCounter()
+    start = time.perf_counter()
+    serial = SkylineEngine().execute(
+        dataset,
+        algorithm,
+        counter=serial_counter,
+        index_backend="flat",
+        workers=1,
+    )
+    serial_s = time.perf_counter() - start
+
+    parallel_counter = DominanceCounter()
+    start = time.perf_counter()
+    parallel = SkylineEngine().execute(
+        dataset,
+        algorithm,
+        counter=parallel_counter,
+        index_backend="flat",
+        workers=workers,
+    )
+    parallel_s = time.perf_counter() - start
+
+    identical = sorted(serial.indices.tolist()) == sorted(
+        parallel.indices.tolist()
+    )
+    speedup = serial_s / parallel_s if parallel_s else None
+    gate_applicable = cpus >= workers
+    report = {
+        "config": {
+            "kind": kind,
+            "n": n,
+            "d": d,
+            "seed": seed,
+            "workers": workers,
+            "algorithm": algorithm,
+            "cpu_count": cpus,
+        },
+        "serial_flat_s": round(serial_s, 6),
+        "parallel_s": round(parallel_s, 6),
+        "speedup": round(speedup, 3) if speedup else None,
+        "skyline_size": int(serial.indices.size),
+        "serial_dominance_tests": serial_counter.tests,
+        "parallel_dominance_tests": parallel_counter.tests,
+        "identical": identical,
+        "gate_speedup": PARALLEL_GATE_SPEEDUP,
+    }
+    if gate_applicable:
+        report["gate_pass"] = bool(
+            identical and speedup and speedup >= PARALLEL_GATE_SPEEDUP
+        )
+    else:
+        report["gate_pass"] = None
+        report["gate_skipped"] = (
+            f"cpu_count={cpus} < workers={workers}: wall-clock speedup "
+            "unattainable on this host, gating on identical results only"
+        )
+    marker = "" if identical else "  <-- MISMATCH"
+    print(
+        f"block-parallel: serial-flat {serial_s:8.4f}s  "
+        f"x{workers} workers {parallel_s:8.4f}s  "
+        f"speedup {report['speedup']:>6}x  (cpus={cpus}){marker}"
+    )
+    gate_ok = identical and (report["gate_pass"] is not False)
+    return report, gate_ok
+
+
+# -- scenario: repeated queries over prepared caches ------------------------
 
 
 def query_stream(d, queries, distinct=10, width=2):
@@ -244,9 +473,21 @@ def main(argv=None):
         help="queries in the repeated-subspace engine scenario",
     )
     parser.add_argument(
+        "--parallel-n",
+        type=int,
+        default=400_000,
+        help="cardinality of the block-parallel scenario",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker count of the block-parallel scenario",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
-        help="CI smoke configuration (n=4000, d=6, 2 repeats)",
+        help="CI smoke configuration (n=4000, d=6, 2 repeats, 2 workers)",
     )
     parser.add_argument(
         "--out",
@@ -257,25 +498,77 @@ def main(argv=None):
     args = parser.parse_args(argv)
     if args.quick:
         args.n, args.d, args.repeats = 4000, 6, 2
+        args.parallel_n, args.workers = 20_000, 2
 
-    report, ok = run(args.kind, args.n, args.d, args.seed, args.repeats)
+    report = load_report(args.out)
+    failures = []
+
+    prepared_pair, batched, ok = run_batched_vs_scalar(
+        args.kind, args.n, args.d, args.seed, args.repeats
+    )
+    upsert(
+        report,
+        scenario_key("batched_vs_scalar", args.kind, args.n, args.d, args.seed),
+        batched,
+    )
+    if not ok:
+        failures.append("batched path diverged from the scalar reference")
+
+    flat, flat_ok = run_flat_vs_map(
+        prepared_pair, args.kind, args.n, args.d, args.seed, args.repeats
+    )
+    upsert(
+        report,
+        scenario_key("flat_vs_map", args.kind, args.n, args.d, args.seed),
+        flat,
+    )
+    if not flat_ok:
+        failures.append(
+            "flat backend diverged from the map index or missed the "
+            f"{FLAT_GATE_SPEEDUP}x gate"
+        )
+
+    parallel, parallel_ok = run_block_parallel(
+        args.kind, args.parallel_n, args.d, args.seed, args.workers
+    )
+    upsert(
+        report,
+        scenario_key(
+            "block_parallel", args.kind, args.parallel_n, args.d, args.seed
+        ),
+        parallel,
+    )
+    if not parallel_ok:
+        failures.append(
+            "block-parallel diverged from serial or missed the "
+            f"{PARALLEL_GATE_SPEEDUP}x gate"
+        )
+
     repeated, repeated_ok = run_repeated_queries(
         args.kind, args.n, args.d, args.seed, queries=args.queries
     )
-    report["repeated_queries"] = repeated
-    report["phases"] = phase_breakdown(args.kind, args.n, args.d, args.seed)
+    upsert(
+        report,
+        scenario_key("repeated_queries", args.kind, args.n, args.d, args.seed),
+        repeated,
+    )
+    if not repeated_ok:
+        failures.append(
+            "warm engine session diverged from cold or fell short of the "
+            "2x prepared-cache speedup"
+        )
+
+    upsert(
+        report,
+        scenario_key("phases", args.kind, args.n, args.d, args.seed),
+        phase_breakdown(args.kind, args.n, args.d, args.seed),
+    )
+
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
-    if not ok:
-        print("ERROR: batched path diverged from the scalar reference")
-        return 1
-    if not repeated_ok:
-        print(
-            "ERROR: warm engine session diverged from cold or fell short "
-            "of the 2x prepared-cache speedup"
-        )
-        return 1
-    return 0
+    for failure in failures:
+        print(f"ERROR: {failure}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

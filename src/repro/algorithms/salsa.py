@@ -54,28 +54,39 @@ class SaLSa(SortScanAlgorithm):
         # The stop rule compares one point's minimum coordinate against
         # another's maximum across dimensions, which is only meaningful in a
         # common per-dimension frame: use the same min-corner shift as the
-        # sort keys, so the scan order and the stop metric agree.
-        coords = sort_cache.get("salsa_coords") if sort_cache is not None else None
-        if coords is None:
-            shifted = values - values.min(axis=0)
-            coords = (shifted.min(axis=1).tolist(), shifted.max(axis=1).tolist())
+        # sort keys, so the scan order and the stop metric agree.  Both
+        # coordinates are derived once, for the scanned rows only, in scan
+        # position order — minC is then exactly the (non-decreasing) sort
+        # key, so the stop rule defines a scan *prefix* and the per-point
+        # stop test collapses to one binary search per stop-point update.
+        cached = sort_cache.get("salsa_scan") if sort_cache is not None else None
+        if cached is None:
+            shifted = values[order] - values.min(axis=0)
+            cached = (shifted.min(axis=1), shifted.max(axis=1).tolist())
             if sort_cache is not None:
-                sort_cache["salsa_coords"] = coords
-        min_coords, max_coords = coords  # type: ignore[misc]
+                sort_cache["salsa_scan"] = cached
+        min_keys, max_coords = cached  # type: ignore[misc]
         masks_list = masks.tolist()
         stop_value = float("inf")
         skyline: list[int] = []
-        for point_id in order.tolist():
-            if min_coords[point_id] > stop_value:
-                # Every remaining point q has minC(q) > stop_value, hence
-                # q[i] >= minC(q) > max(stop point) >= stop_point[i] in all
-                # dimensions: strictly dominated.  Terminate.
-                break
+        order_list = order.tolist()
+        limit = len(order_list)
+        position = 0
+        while position < limit:
+            point_id = order_list[position]
             mask = masks_list[point_id]
             _, block = container.candidates(mask)
             if first_dominator(block, values[point_id], counter) == -1:
                 skyline.append(point_id)
                 container.add(point_id, mask)
-                if max_coords[point_id] < stop_value:
-                    stop_value = max_coords[point_id]
+                if max_coords[position] < stop_value:
+                    stop_value = max_coords[position]
+                    # Every point q past the cut has minC(q) > stop_value,
+                    # hence q[i] >= minC(q) > max(stop point) >= stop[i] in
+                    # all dimensions: strictly dominated, never scanned.
+                    # The strict `>` keeps duplicates of the stop point in.
+                    limit = int(
+                        np.searchsorted(min_keys, stop_value, side="right")
+                    )
+            position += 1
         return skyline

@@ -97,7 +97,7 @@ class _SortedView:
             # positions but without its per-call overhead.  Positions are
             # non-decreasing (new_col is sorted), so adding arange keeps
             # equal-valued new rows in insertion order.
-            target = np.searchsorted(self.col, new_col, side="right")
+            target = self.col.searchsorted(new_col, side="right")
             target = target + np.arange(m, dtype=np.intp)
             col = np.empty(k + m, dtype=np.float64)
             perm = np.empty(k + m, dtype=np.intp)
@@ -180,8 +180,14 @@ class SDI(SkylineAlgorithm):
             if sort_cache is not None:
                 sort_cache["sdi_sort"] = (orders, stop_point)
 
-        status = np.zeros(dataset.cardinality, dtype=np.int8)
+        # Plain-Python data structures for the per-point bookkeeping: the
+        # scan loop runs once per remaining point, and bytearray/list
+        # indexing with native ints is several times cheaper than numpy
+        # scalar extraction at that call rate.
+        status = bytearray(dataset.cardinality)
         masks_list = masks.tolist()
+        order_lists = [order.tolist() for order in orders]
+        stop_list = stop_point.tolist()
         cursors = [0] * d
         dim_sky_count = [0] * d
         open_dims = set(range(d))
@@ -190,17 +196,29 @@ class SDI(SkylineAlgorithm):
         batched = self.batched
         mask_sensitive = container.uses_masks
 
+        def select(k: int) -> tuple[int, int]:
+            return (dim_sky_count[k], k)
+
+        # The breadth-first choice min(open_dims, key=select) only changes
+        # when a dimension's skyline count grows or a dimension closes, so
+        # the selection is cached across the (majority of) iterations that
+        # change neither — the choice sequence is identical.
+        chosen = -1
         while open_dims:
-            dim = min(open_dims, key=lambda k: (dim_sky_count[k], k))
-            order = orders[dim]
+            if chosen < 0:
+                chosen = min(open_dims, key=select)
+            dim = chosen
+            order_list = order_lists[dim]
+            length = len(order_list)
             cursor = cursors[dim]
-            while cursor < order.shape[0] and status[order[cursor]] != _UNKNOWN:
+            while cursor < length and status[order_list[cursor]] != _UNKNOWN:
                 cursor += 1
-            if cursor >= order.shape[0]:
+            if cursor >= length:
                 cursors[dim] = cursor
                 open_dims.discard(dim)
+                chosen = -1
                 continue
-            point_id = int(order[cursor])
+            point_id = order_list[cursor]
             cursors[dim] = cursor + 1
             point = values[point_id]
             mask = masks_list[point_id]
@@ -214,15 +232,17 @@ class SDI(SkylineAlgorithm):
                     views[view_key] = view
                 if view.n != block.shape[0]:
                     view.extend(block, dim)
-                cut = int(np.searchsorted(view.col, point[dim], side="right"))
+                bound = point[dim]
+                cut = int(view.col.searchsorted(bound, side="right"))
                 undominated = (
                     cut == 0
                     or first_dominator(block[view.perm[:cut]], point, counter)
                     == -1
                 )
             else:
+                bound = point[dim]
                 if block.shape[0]:
-                    prefix = block[:, dim] <= point[dim]
+                    prefix = block[:, dim] <= bound
                     block = block[prefix]
                     if block.shape[0]:
                         block = block[np.argsort(block[:, dim], kind="stable")]
@@ -232,13 +252,15 @@ class SDI(SkylineAlgorithm):
                 skyline.append(point_id)
                 container.add(point_id, mask)
                 dim_sky_count[dim] += 1
+                chosen = -1
             else:
                 status[point_id] = _DOMINATED
 
-            if point[dim] > stop_point[dim]:
+            if bound > stop_list[dim]:
                 # The cursor passed the stop point in this dimension; once
                 # that holds in every dimension, all unvisited points are
                 # strictly worse than the stop point everywhere.
                 open_dims.discard(dim)
+                chosen = -1
 
         return skyline

@@ -1,4 +1,4 @@
-"""Repo-specific lint rules (RPR001–RPR006).
+"""Repo-specific lint rules (RPR001–RPR007).
 
 Each rule encodes one of the conventions the subset-skyline reproduction
 depends on for *correctness of its reported numbers*, not just style:
@@ -21,6 +21,11 @@ depends on for *correctness of its reported numbers*, not just style:
   calls outside ``obs/`` and ``algorithms/base.py``; ad-hoc clocks define
   "elapsed" differently per call site, so measurements flow through
   :mod:`repro.obs.clock` and the tracer instead.
+- **RPR007** — no direct ``SkylineIndex(...)`` / ``FlatSubsetIndex(...)``
+  construction outside ``core/`` and ``engine/``; the container
+  (``SubsetContainer(backend=...)``) is the sanctioned switch point, so a
+  hand-built index silently pins one backend and skips the fused
+  candidate path and its accounting.
 
 Rules are pure functions of a parsed module; suppression is line-level
 ``# noqa: RPRxxx`` (see :mod:`repro.analysis.lint`).
@@ -344,6 +349,47 @@ class HandWiredBoost(Rule):
                 )
 
 
+#: Index classes RPR007 polices: both subset-index backends.
+_INDEX_CLASSES = ("SkylineIndex", "FlatSubsetIndex")
+
+
+class HandBuiltIndex(Rule):
+    """RPR007: direct subset-index construction outside core/ and engine/."""
+
+    code = "RPR007"
+    name = "hand-built-index"
+    severity = Severity.ERROR
+    description = (
+        "direct SkylineIndex(...)/FlatSubsetIndex(...) construction outside "
+        "core/ and engine/; go through SubsetContainer(backend=...) (or the "
+        "engine) so the backend switch, fused candidate gather and index "
+        "accounting stay wired — suppress deliberate low-level wiring with "
+        "`# noqa: RPR007`"
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        path = module.path.resolve().as_posix()
+        if "/repro/core/" in path or "/repro/engine/" in path:
+            return False
+        return super().applies_to(module)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not self.applies_to(module):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _called_name(node.func) in _INDEX_CLASSES
+            ):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"`{_called_name(node.func)}` constructed directly — use "
+                    "SubsetContainer(backend=...) so map/flat selection stays "
+                    "a one-line switch",
+                )
+
+
 #: Raw-clock callables RPR006 polices.  ``time.monotonic``/``time.time``
 #: are deliberately excluded: they appear in wall-clock *scheduling* code
 #: (pool timeouts), not in measurements.
@@ -395,6 +441,7 @@ ALL_RULES: tuple[Rule, ...] = (
     NumpyScalarLeak(),
     HandWiredBoost(),
     RawClockRead(),
+    HandBuiltIndex(),
 )
 
 

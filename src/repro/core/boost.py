@@ -104,6 +104,7 @@ def run_boosted_scan(
     memoize: bool = True,
     merged: MergeResult | None = None,
     sort_cache: MutableMapping[str, object] | None = None,
+    index_backend: str = "map",
 ) -> list[int]:
     """The subset-boost wiring: Merge, mask scatter, container, host scan.
 
@@ -115,7 +116,10 @@ def run_boosted_scan(
     same arguments, and its dominance tests are *not* re-charged here.
     ``sort_cache`` is forwarded to hosts that opt in via
     ``supports_sort_cache`` and must be private to one
-    ``(host-configuration, dataset, merged)`` triple.
+    ``(host-configuration, dataset, merged)`` triple.  ``index_backend``
+    selects the subset-index implementation (``"map"``/``"flat"``, see
+    :class:`~repro.core.container.SubsetContainer`); the skyline and the
+    charged dominance tests are identical either way.
     """
     d = dataset.dimensionality
     if d < 2:
@@ -138,7 +142,9 @@ def run_boosted_scan(
     masks[merged.remaining_ids] = merged.masks
     store: SkylineContainer
     if container == "subset":
-        store = SubsetContainer(dataset.values, d, counter, memoize=memoize)
+        store = SubsetContainer(
+            dataset.values, d, counter, memoize=memoize, backend=index_backend
+        )
     else:
         # Ablation mode: identical merge phase, plain list store — this
         # isolates the contribution of the subset index (Algs. 2-4)
@@ -152,6 +158,7 @@ def run_boosted_scan(
         points=int(merged.remaining_ids.size),
         boosted=True,
         merge_cached=merge_cached,
+        index_backend=index_backend if container == "subset" else None,
     ):
         if sort_cache is not None and getattr(host, "supports_sort_cache", False):
             scan_skyline = host.run_phase(
@@ -185,6 +192,11 @@ class SubsetBoost:
         scalar reference path: identical skyline and dominance-test
         accounting, used by the differential tests and the throughput
         benchmark baseline.
+    index_backend:
+        ``"map"`` (default) or ``"flat"`` — which subset-index
+        implementation backs the container; results and charged dominance
+        tests are bit-identical (see
+        :class:`~repro.core.flat_index.FlatSubsetIndex`).
 
     >>> from repro.algorithms.sfs import SFS
     >>> from repro.data import generate
@@ -201,6 +213,7 @@ class SubsetBoost:
         container: str = "subset",
         pivot_strategy: str = "euclidean",
         memoize: bool = True,
+        index_backend: str = "map",
     ) -> None:
         if not isinstance(host, BoostableHost):
             raise TypeError(
@@ -208,11 +221,16 @@ class SubsetBoost:
             )
         if container not in ("subset", "list"):
             raise ValueError(f"container must be 'subset' or 'list', got {container!r}")
+        if index_backend not in ("map", "flat"):
+            raise ValueError(
+                f"index_backend must be 'map' or 'flat', got {index_backend!r}"
+            )
         self.host = host
         self.sigma = sigma
         self.container = container
         self.pivot_strategy = pivot_strategy
         self.memoize = memoize
+        self.index_backend = index_backend
         self.name = f"{host.name}-subset"
 
     def compute(
@@ -235,4 +253,5 @@ class SubsetBoost:
             container=self.container,
             pivot_strategy=self.pivot_strategy,
             memoize=self.memoize,
+            index_backend=self.index_backend,
         )

@@ -27,7 +27,9 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.core.flat_index import FlatSubsetIndex
 from repro.core.subset_index import SkylineIndex
+from repro.errors import InvalidParameterError
 from repro.stats.counters import DominanceCounter
 
 
@@ -170,10 +172,18 @@ class SubsetContainer(SkylineContainer):
     Parameters
     ----------
     memoize:
-        Forwarded to the :class:`SkylineIndex`; additionally enables the
-        per-subspace gathered-block cache.  ``False`` reproduces the
-        scalar reference path (fresh traversal + fresh gather per query)
-        with bit-identical results and dominance-test accounting.
+        Forwarded to the index; additionally enables the per-subspace
+        gathered-block cache.  ``False`` reproduces the scalar reference
+        path (fresh traversal + fresh gather per query) with bit-identical
+        results and dominance-test accounting.
+    backend:
+        ``"map"`` (default) uses the paper's hash-map prefix tree
+        (:class:`SkylineIndex`); ``"flat"`` uses the struct-of-arrays
+        :class:`FlatSubsetIndex`, whose fused ``candidates`` path serves
+        ids and gathered rows from a single cache probe.  Both return
+        bit-identical candidate sets in the same order, so the skyline
+        and every charged dominance test are unchanged; only the
+        index-access statistics (nodes visited) differ.
     """
 
     def __init__(
@@ -182,17 +192,32 @@ class SubsetContainer(SkylineContainer):
         d: int,
         counter: DominanceCounter | None = None,
         memoize: bool = True,
+        backend: str = "map",
     ) -> None:
+        if backend not in ("map", "flat"):
+            raise InvalidParameterError(
+                f"backend must be 'map' or 'flat', got {backend!r}"
+            )
         self._values = values
-        self._index = SkylineIndex(d, memoize=memoize)
+        self._backend = backend
+        self._index: SkylineIndex | FlatSubsetIndex
+        if backend == "flat":
+            self._index = FlatSubsetIndex(d, memoize=memoize, values=values)
+        else:
+            self._index = SkylineIndex(d, memoize=memoize)
         self._counter = counter
         self._all_ids: list[int] = []
         self._blocks: dict[int, _MaskBlock] = {}
 
     @property
-    def index(self) -> SkylineIndex:
-        """The underlying prefix-tree index (exposed for diagnostics)."""
+    def index(self) -> SkylineIndex | FlatSubsetIndex:
+        """The underlying subset index (exposed for diagnostics)."""
         return self._index
+
+    @property
+    def backend(self) -> str:
+        """Which index backend serves the candidates (``map``/``flat``)."""
+        return self._backend
 
     @property
     def generation(self) -> int:
@@ -203,6 +228,10 @@ class SubsetContainer(SkylineContainer):
         self._all_ids.append(point_id)
 
     def candidates(self, mask: int) -> tuple[np.ndarray, np.ndarray]:
+        if self._backend == "flat":
+            # Fused path: the flat index serves ids and gathered rows from
+            # one cache probe — no separate _MaskBlock bookkeeping.
+            return self._index.candidates(mask, self._counter)  # type: ignore[union-attr]
         ids = self._index.query_array(mask, self._counter)
         if not self._index.memoized:
             return ids, self._values[ids]

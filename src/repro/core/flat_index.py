@@ -1,0 +1,499 @@
+"""A flat, vectorised backend for the subset-query skyline index.
+
+:mod:`repro.core.subset_index` answers Problem 2 with the paper's hash-map
+prefix tree: a ``put`` walks ``O(d/2)`` nodes and a cold ``query`` visits
+``O((d/2)^2)`` — but every node hop is a Python-level dict probe.  This
+module trades the tree for a struct-of-arrays layout where Lemma 5.1's
+superset filter is a single numpy expression over *all* stored subspaces:
+
+``(q & ~masks) == 0``   —   equivalently ``masks & q == q``
+
+- **CSR region** — compacted storage.  ``_csr_masks`` holds the distinct
+  subspace masks sorted ascending; ``_csr_starts`` delimits, per mask, the
+  slice of ``_csr_ids``/``_csr_seqs`` holding that group's point ids and
+  insertion sequence numbers.  One vectorised superset pass over the
+  distinct masks selects whole groups at once.
+- **Tail region** — append-friendly parallel arrays (amortised doubling)
+  that absorb ``put`` calls in O(1).  When the tail outgrows a quarter of
+  the CSR region it is folded in by one vectorised rebuild (lexsort by
+  ``(mask, seq)`` + ``np.unique``), keeping amortised maintenance linear.
+
+Query results are ordered by insertion sequence — bit-identical to the map
+index, so every dominance test charged downstream is identical.  The same
+per-subspace memoization (put-log suffix repair, generation/epoch
+invalidation) is reused from the map index; only ``index_nodes_visited``
+differs, because "visited" here counts distinct mask groups plus tail
+entries examined by the flat filter rather than tree nodes walked.
+
+The flat index can additionally *fuse* the candidate-row gather into the
+cache entry (:meth:`FlatSubsetIndex.candidates`): when constructed with the
+dataset's value matrix, each memoized entry carries the gathered candidate
+rows alongside the ids, repaired together from the put-log suffix.  This
+collapses the container's separate id-cache + row-block bookkeeping into
+one dict probe per testing point — the hot path of every batched scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.subset_index import _TRACE_SAMPLE, _CacheEntry
+from repro.errors import DimensionMismatchError, InvalidParameterError
+from repro.obs.clock import timed
+from repro.obs.trace import current_tracer
+from repro.stats.counters import DominanceCounter
+from repro.structures import bitset
+
+__all__ = ["FlatSubsetIndex"]
+
+#: The tail is folded into the CSR region when it exceeds
+#: ``max(_COMPACT_MIN, csr_entries // 4)``.  The floor keeps tiny indexes
+#: from compacting on every put; the ratio keeps the number of rebuilds
+#: logarithmic in the final size, so total maintenance stays linearithmic.
+_COMPACT_MIN = 64
+
+
+class _FusedEntry(_CacheEntry):
+    """A cache entry that carries the gathered candidate rows as well.
+
+    The row block grows in lockstep with the id buffer, so a single
+    put-log repair updates both and :meth:`FlatSubsetIndex.candidates`
+    serves ``(ids, rows)`` from one dict probe.  Rows handed out are
+    views of a stable prefix — appends never touch published positions.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(
+        self, epoch: int, log_pos: int, ids: list[int], values: np.ndarray
+    ) -> None:
+        super().__init__(epoch, log_pos, ids)
+        self.rows = np.empty((max(4, self.size), values.shape[1]))
+        self.rows[: self.size] = values[self.buf[: self.size]]
+
+    def extend_fused(self, new_ids: np.ndarray, values: np.ndarray) -> None:
+        grown = self.size + new_ids.shape[0]
+        if grown > self.rows.shape[0]:
+            rows = np.empty((max(grown, 2 * self.rows.shape[0]), self.rows.shape[1]))
+            rows[: self.size] = self.rows[: self.size]
+            self.rows = rows
+        self.rows[self.size : grown] = values[new_ids]
+        self.extend(new_ids)
+
+    def rows_view(self) -> np.ndarray:
+        return self.rows[: self.size]
+
+
+class FlatSubsetIndex:
+    """Struct-of-arrays subset index; drop-in for :class:`SkylineIndex`.
+
+    Parameters
+    ----------
+    d:
+        Dimensionality of the space; subspace masks must fit in ``d`` bits.
+    memoize:
+        Keep the per-subspace result cache (default), exactly as the map
+        index does.  ``False`` re-runs the flat filter on every query.
+    values:
+        Optional ``(n, d)`` value matrix.  When given, the index offers
+        the fused :meth:`candidates` path returning gathered rows.
+
+    >>> idx = FlatSubsetIndex(d=4)
+    >>> idx.put(7, subspace=0b0011)
+    >>> idx.put(9, subspace=0b0111)
+    >>> sorted(idx.query(0b0011))
+    [7, 9]
+    >>> idx.query(0b0111)
+    [9]
+    """
+
+    def __init__(
+        self, d: int, memoize: bool = True, values: np.ndarray | None = None
+    ) -> None:
+        if d < 1:
+            raise InvalidParameterError(f"dimensionality must be >= 1, got {d}")
+        self._d = d
+        self._full = bitset.universe(d)
+        self._memoize = memoize
+        self._values = values
+        # CSR region: distinct masks ascending; starts delimit each group's
+        # (id, seq) slice.  Entries within a group ascend by seq because
+        # every rebuild lexsorts by (mask, seq).
+        self._csr_masks = np.empty(0, dtype=np.int64)
+        self._csr_starts = np.zeros(1, dtype=np.intp)
+        self._csr_ids = np.empty(0, dtype=np.intp)
+        self._csr_seqs = np.empty(0, dtype=np.intp)
+        # Tail region: append-only parallel arrays.
+        self._tail_subs = np.empty(16, dtype=np.int64)
+        self._tail_ids = np.empty(16, dtype=np.intp)
+        self._tail_seqs = np.empty(16, dtype=np.intp)
+        self._tail_n = 0
+        self._size = 0
+        self._seq = 0
+        self._generation = 0
+        self._epoch = 0
+        # Same put-log + per-subspace cache machinery as the map index.
+        self._log_pids = np.empty(16, dtype=np.intp)
+        self._log_subs = np.empty(16, dtype=np.int64)
+        self._log_size = 0
+        self._cache: dict[int, _CacheEntry] = {}
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+        self._tracer = current_tracer()
+        self._trace_every = _TRACE_SAMPLE if self._tracer.enabled else 0
+        self._trace_seen = 0
+
+    @property
+    def dimensionality(self) -> int:
+        return self._d
+
+    @property
+    def memoized(self) -> bool:
+        """Whether the per-subspace result cache is active."""
+        return self._memoize
+
+    @property
+    def generation(self) -> int:
+        """Monotone change counter: advances on every ``put``/``remove``."""
+        return self._generation
+
+    @property
+    def epoch(self) -> int:
+        """Advances on ``remove``/``clear`` — changes that can shrink or
+        reorder query results, invalidating append-only derived views."""
+        return self._epoch
+
+    def __len__(self) -> int:
+        """Number of stored points."""
+        return self._size
+
+    def _validate(self, subspace: int) -> None:
+        try:
+            bitset.complement(subspace, self._d)
+        except ValueError as exc:
+            raise DimensionMismatchError(str(exc)) from None
+
+    def put(self, point_id: int, subspace: int) -> None:
+        """Store ``point_id`` under its maximum dominating subspace.
+
+        O(1) append to the tail region; periodically folds the tail into
+        the CSR region (see ``_COMPACT_MIN``).
+        """
+        self._validate(subspace)
+        n = self._tail_n
+        if n == self._tail_ids.shape[0]:
+            self._tail_subs = np.concatenate(
+                [self._tail_subs, np.empty_like(self._tail_subs)]
+            )
+            self._tail_ids = np.concatenate(
+                [self._tail_ids, np.empty_like(self._tail_ids)]
+            )
+            self._tail_seqs = np.concatenate(
+                [self._tail_seqs, np.empty_like(self._tail_seqs)]
+            )
+        self._tail_subs[n] = subspace
+        self._tail_ids[n] = point_id
+        self._tail_seqs[n] = self._seq
+        self._tail_n = n + 1
+        self._seq += 1
+        self._size += 1
+        self._generation += 1
+        if self._memoize:
+            m = self._log_size
+            if m == self._log_pids.shape[0]:
+                self._log_pids = np.concatenate(
+                    [self._log_pids, np.empty_like(self._log_pids)]
+                )
+                self._log_subs = np.concatenate(
+                    [self._log_subs, np.empty_like(self._log_subs)]
+                )
+            self._log_pids[m] = point_id
+            self._log_subs[m] = subspace
+            self._log_size = m + 1
+        if self._tail_n > max(_COMPACT_MIN, self._csr_ids.shape[0] // 4):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Fold the tail into the CSR region with one vectorised rebuild."""
+        n = self._tail_n
+        if n == 0:
+            return
+        entry_masks = np.concatenate(
+            [
+                np.repeat(self._csr_masks, np.diff(self._csr_starts)),
+                self._tail_subs[:n],
+            ]
+        )
+        entry_ids = np.concatenate([self._csr_ids, self._tail_ids[:n]])
+        entry_seqs = np.concatenate([self._csr_seqs, self._tail_seqs[:n]])
+        order = np.lexsort((entry_seqs, entry_masks))
+        masks_sorted = entry_masks[order]
+        self._csr_ids = entry_ids[order]
+        self._csr_seqs = entry_seqs[order]
+        distinct, starts = np.unique(masks_sorted, return_index=True)
+        self._csr_masks = distinct
+        self._csr_starts = np.append(starts, masks_sorted.size).astype(np.intp)
+        self._tail_n = 0
+
+    def query(self, subspace: int, counter: DominanceCounter | None = None) -> list[int]:
+        """All points whose subspace ⊇ ``subspace``, by insertion sequence.
+
+        Bit-identical to :meth:`SkylineIndex.query`.  On a cache miss the
+        flat superset filter runs and ``counter`` records the groups plus
+        tail entries it examined as index accesses; a cache hit records
+        zero, exactly like the map index.
+        """
+        if self._trace_every and self._sample():
+            ids, elapsed = timed(lambda: self._query(subspace, counter))
+            self._tracer.record(
+                "index.query",
+                elapsed,
+                subspace=subspace,
+                results=len(ids),
+                sampled_1_in=self._trace_every,
+                backend="flat",
+            )
+            return ids
+        return self._query(subspace, counter)
+
+    def _query(self, subspace: int, counter: DominanceCounter | None) -> list[int]:
+        if not self._memoize:
+            self._validate(subspace)
+            ids, visited = self._traverse(subspace)
+            if counter is not None:
+                counter.add_query(visited)
+            return ids
+        return self._entry(subspace, counter).ids_list()
+
+    def query_array(
+        self, subspace: int, counter: DominanceCounter | None = None
+    ) -> np.ndarray:
+        """Like :meth:`query` but returning a read-only ``intp`` id array."""
+        if self._trace_every and self._sample():
+            arr, elapsed = timed(lambda: self._query_array(subspace, counter))
+            self._tracer.record(
+                "index.query",
+                elapsed,
+                subspace=subspace,
+                results=int(arr.shape[0]),
+                sampled_1_in=self._trace_every,
+                backend="flat",
+            )
+            return arr
+        return self._query_array(subspace, counter)
+
+    def _query_array(
+        self, subspace: int, counter: DominanceCounter | None
+    ) -> np.ndarray:
+        if not self._memoize:
+            arr = np.asarray(self._query(subspace, counter), dtype=np.intp)
+            arr.setflags(write=False)
+            return arr
+        return self._entry(subspace, counter).array()
+
+    def candidates(
+        self, subspace: int, counter: DominanceCounter | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fused query: ``(ids, rows)`` with the candidate rows gathered.
+
+        Requires construction with ``values``.  The memoized path serves
+        both arrays from one cache probe; ids and accounting are identical
+        to :meth:`query_array` followed by a gather.
+        """
+        if self._values is None:
+            raise InvalidParameterError(
+                "candidates() requires a FlatSubsetIndex built with values"
+            )
+        if self._trace_every and self._sample():
+            pair, elapsed = timed(lambda: self._candidates(subspace, counter))
+            self._tracer.record(
+                "index.query",
+                elapsed,
+                subspace=subspace,
+                results=int(pair[0].shape[0]),
+                sampled_1_in=self._trace_every,
+                backend="flat",
+            )
+            return pair
+        return self._candidates(subspace, counter)
+
+    def _candidates(
+        self, subspace: int, counter: DominanceCounter | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if not self._memoize:
+            ids = np.asarray(self._query(subspace, counter), dtype=np.intp)
+            ids.setflags(write=False)
+            return ids, self._values[ids]
+        entry = self._entry(subspace, counter)
+        assert isinstance(entry, _FusedEntry)
+        return entry.array(), entry.rows_view()
+
+    def _entry(self, subspace: int, counter: DominanceCounter | None) -> _CacheEntry:
+        """The up-to-date cache entry for ``subspace`` (memoized path)."""
+        entry = self._cache.get(subspace)
+        if entry is not None and entry.epoch == self._epoch:
+            log_size = self._log_size
+            pos = entry.log_pos
+            if pos < log_size:
+                match = bitset.subset_of_many(subspace, self._log_subs[pos:log_size])
+                new_ids = self._log_pids[pos:log_size][match]
+                if new_ids.shape[0]:
+                    if isinstance(entry, _FusedEntry):
+                        entry.extend_fused(new_ids, self._values)
+                    else:
+                        entry.extend(new_ids)
+                entry.log_pos = log_size
+            self._hits += 1
+            if counter is not None:
+                counter.add_query(0)
+                counter.add_cache_hit()
+            return entry
+        invalidated = 0
+        if entry is not None:
+            invalidated = 1
+            self._invalidations += 1
+        self._validate(subspace)
+        ids, visited = self._traverse(subspace)
+        if self._values is not None:
+            entry = _FusedEntry(self._epoch, self._log_size, ids, self._values)
+        else:
+            entry = _CacheEntry(self._epoch, self._log_size, ids)
+        self._cache[subspace] = entry
+        self._misses += 1
+        if counter is not None:
+            counter.add_query(visited)
+            counter.add_cache_miss(invalidated)
+        return entry
+
+    def _sample(self) -> bool:
+        """Down-counting sampler: True once every ``_trace_every`` calls."""
+        self._trace_seen += 1
+        if self._trace_seen >= self._trace_every:
+            self._trace_seen = 0
+            return True
+        return False
+
+    def _traverse(self, subspace: int) -> tuple[list[int], int]:
+        """Flat filter pass: insertion-ordered ids plus entries examined.
+
+        "Visited" counts the distinct CSR mask groups plus the tail
+        entries the filter evaluated — the flat analogue of tree nodes.
+        """
+        visited = int(self._csr_masks.shape[0]) + self._tail_n
+        parts_ids: list[np.ndarray] = []
+        parts_seqs: list[np.ndarray] = []
+        if self._csr_masks.shape[0]:
+            for group in np.flatnonzero(
+                bitset.subset_of_many(subspace, self._csr_masks)
+            ):
+                lo, hi = self._csr_starts[group], self._csr_starts[group + 1]
+                parts_ids.append(self._csr_ids[lo:hi])
+                parts_seqs.append(self._csr_seqs[lo:hi])
+        if self._tail_n:
+            match = bitset.subset_of_many(subspace, self._tail_subs[: self._tail_n])
+            parts_ids.append(self._tail_ids[: self._tail_n][match])
+            parts_seqs.append(self._tail_seqs[: self._tail_n][match])
+        if not parts_ids:
+            return [], visited
+        ids = np.concatenate(parts_ids)
+        seqs = np.concatenate(parts_seqs)
+        return ids[np.argsort(seqs, kind="stable")].tolist(), visited
+
+    def remove(self, point_id: int, subspace: int) -> None:
+        """Remove a point previously stored under ``subspace``.
+
+        Same contract as :meth:`SkylineIndex.remove`: raises ``KeyError``
+        when absent, advances the epoch, and drops the whole result cache.
+        The tail is folded in first so the entry lives in exactly one place.
+        """
+        self._validate(subspace)
+        self._compact()
+        group = int(np.searchsorted(self._csr_masks, subspace))
+        if (
+            group == self._csr_masks.shape[0]
+            or int(self._csr_masks[group]) != subspace
+        ):
+            raise KeyError(
+                f"point {point_id} not stored under subspace {subspace:#x}"
+            )
+        lo, hi = int(self._csr_starts[group]), int(self._csr_starts[group + 1])
+        hits = np.flatnonzero(self._csr_ids[lo:hi] == point_id)
+        if hits.shape[0] == 0:
+            raise KeyError(
+                f"point {point_id} not stored under subspace {subspace:#x}"
+            )
+        position = lo + int(hits[0])
+        self._csr_ids = np.delete(self._csr_ids, position)
+        self._csr_seqs = np.delete(self._csr_seqs, position)
+        starts = self._csr_starts.copy()
+        starts[group + 1 :] -= 1
+        if starts[group] == starts[group + 1]:
+            self._csr_masks = np.delete(self._csr_masks, group)
+            starts = np.delete(starts, group + 1)
+        self._csr_starts = starts
+        self._size -= 1
+        self._generation += 1
+        self._invalidate_all()
+
+    def _invalidate_all(self) -> None:
+        self._invalidations += len(self._cache)
+        self._cache.clear()
+        self._log_size = 0
+        self._epoch += 1
+
+    def cache_stats(self) -> dict[str, int]:
+        """Lifetime memoization statistics of this index instance."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "invalidations": self._invalidations,
+            "entries": len(self._cache),
+        }
+
+    def group_count(self) -> int:
+        """Distinct stored subspace masks (CSR groups + distinct tail masks)."""
+        return len(self.subspaces())
+
+    def node_count(self) -> int:
+        """Flat analogue of the map index's node count: the group count.
+
+        There is no tree here; one "node" is one distinct-mask group the
+        superset filter evaluates.
+        """
+        return self.group_count()
+
+    def occupancy(self) -> dict[str, float]:
+        """Group-occupancy statistics (same shape as the map index's)."""
+        occupied = [len(points) for points in self.subspaces().values()]
+        if not occupied:
+            return {"nodes": 0.0, "occupied": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "nodes": float(len(occupied)),
+            "occupied": float(len(occupied)),
+            "max": float(max(occupied)),
+            "mean": float(sum(occupied) / len(occupied)),
+        }
+
+    def subspaces(self) -> dict[int, list[int]]:
+        """Mapping of stored subspace mask → point ids (diagnostics/tests)."""
+        result: dict[int, list[int]] = {}
+        for group in range(self._csr_masks.shape[0]):
+            lo, hi = self._csr_starts[group], self._csr_starts[group + 1]
+            result[int(self._csr_masks[group])] = self._csr_ids[lo:hi].tolist()
+        for k in range(self._tail_n):
+            result.setdefault(int(self._tail_subs[k]), []).append(
+                int(self._tail_ids[k])
+            )
+        return result
+
+    def clear(self) -> None:
+        """Drop all stored points, groups and cached query results."""
+        self._csr_masks = np.empty(0, dtype=np.int64)
+        self._csr_starts = np.zeros(1, dtype=np.intp)
+        self._csr_ids = np.empty(0, dtype=np.intp)
+        self._csr_seqs = np.empty(0, dtype=np.intp)
+        self._tail_n = 0
+        self._size = 0
+        self._generation += 1
+        self._invalidate_all()

@@ -92,16 +92,20 @@ class SkylineEngine:
         container: str = "subset",
         pivot_strategy: str = "euclidean",
         memoize: bool = True,
-        workers: int = 1,
+        index_backend: str | None = None,
+        workers: int | None = None,
         host_options: Mapping[str, object] | None = None,
     ) -> SkylineResult:
         """Plan (unless ``plan`` is given) and execute one skyline query.
 
         ``algorithm=None`` selects adaptively from dataset statistics; a
-        registry name pins the exact direct-call wiring.  The returned
-        result's ``counter`` is the per-run counter (the caller's, if
-        provided) and ``result.plan`` is the executed plan; the run is also
-        absorbed into ``context.counter``.
+        registry name pins the exact direct-call wiring.  ``index_backend``
+        and ``workers`` default to ``None`` — "planner decides": pinned
+        plans keep the direct-call wiring (map index, sequential), adaptive
+        plans choose from the dataset statistics.  The returned result's
+        ``counter`` is the per-run counter (the caller's, if provided) and
+        ``result.plan`` is the executed plan; the run is also absorbed into
+        ``context.counter``.
         """
         tracer = self.context.tracer
         run_counter = self.context.run_counter(counter)
@@ -117,6 +121,7 @@ class SkylineEngine:
                         container=container,
                         pivot_strategy=pivot_strategy,
                         memoize=memoize,
+                        index_backend=index_backend,
                         workers=workers,
                         host_options=host_options,
                         counter=run_counter,
@@ -161,8 +166,14 @@ class SkylineEngine:
                 dataset,
                 workers=plan.workers,
                 algorithm=plan.label,
+                # Boosted plans also merge the union of local skylines
+                # through the boosted wiring, so the merge phase shares
+                # the plan's subset-index backend (a flat plan funnels
+                # every block's survivors through one flat index).
+                merge_algorithm=plan.label if plan.boosted else "sfs",
                 counter=counter,
                 pool=self.context.pool,
+                index_backend=plan.index_backend,
             )
             return [int(i) for i in indices]
 
@@ -184,6 +195,7 @@ class SkylineEngine:
                 memoize=plan.memoize,
                 merged=merged,
                 sort_cache=sort_cache,
+                index_backend=plan.index_backend,
             )
         if isinstance(host, BoostableHost):
             return run_unboosted_scan(dataset, host, counter, sort_cache)

@@ -34,6 +34,11 @@ class Plan:
         Merge pivot selection strategy.
     memoize:
         Whether the subset index's per-subspace caches are enabled.
+    index_backend:
+        Subset-index implementation backing a ``"subset"`` container:
+        ``"map"`` (the paper's prefix tree) or ``"flat"`` (the vectorised
+        struct-of-arrays backend).  Results and charged dominance tests
+        are identical either way.
     workers:
         Process count for block-parallel execution; ``1`` is sequential.
     adaptive:
@@ -54,6 +59,7 @@ class Plan:
     container: str = "subset"
     pivot_strategy: str = "euclidean"
     memoize: bool = True
+    index_backend: str = "map"
     workers: int = 1
     adaptive: bool = False
     host_options: tuple[tuple[str, object], ...] = ()
@@ -75,8 +81,9 @@ class Plan:
 
         Encodes everything that changes the scanned id set or the scan
         order: host name and options, boost mode, σ and pivot strategy
-        (these determine ``remaining_ids``).  The container and memoization
-        flags deliberately do not appear — they change neither.
+        (these determine ``remaining_ids``).  The container, memoization
+        and index-backend knobs deliberately do not appear — they change
+        neither.
         """
         options = ",".join(f"{k}={v!r}" for k, v in self.host_options)
         if self.boosted:
@@ -94,7 +101,12 @@ class Plan:
             lines.append(
                 f"  boost: merge(σ={self.sigma}, pivots={self.pivot_strategy})"
                 f" -> {self.container} container"
-                f" (memoize={'on' if self.memoize else 'off'})"
+                f" (memoize={'on' if self.memoize else 'off'}"
+                + (
+                    f", index={self.index_backend})"
+                    if self.container == "subset"
+                    else ")"
+                )
             )
         else:
             lines.append("  boost: off (plain list container)")

@@ -53,6 +53,22 @@ _SMALL_N = 600
 #: the entropy-sorted scan as the boosted host (Tables 4-7).
 _HIGH_D = 5
 
+#: From this cardinality upward the flat subset-index backend's vectorised
+#: superset pass beats the map index's per-node dict probes: the candidate
+#: sets are big enough that one numpy filter over all distinct masks
+#: amortises, and compactions stay rare relative to queries.
+_FLAT_N = 20_000
+
+#: High dimensionality multiplies distinct subspace masks, which the map
+#: index pays for in tree nodes walked per query; the flat filter's cost is
+#: one vectorised pass regardless, so it wins from here upward even when
+#: ``n`` alone would not justify it.
+_FLAT_D = 6
+
+#: From this cardinality upward block-parallel execution repays process
+#: dispatch and the sequential merge over the union of local skylines.
+_PARALLEL_N = 200_000
+
 
 class Planner:
     """Chooses algorithm, container and execution mode for one query.
@@ -89,7 +105,8 @@ class Planner:
         container: str = "subset",
         pivot_strategy: str = "euclidean",
         memoize: bool = True,
-        workers: int = 1,
+        index_backend: str | None = None,
+        workers: int | None = None,
         host_options: Mapping[str, object] | None = None,
         counter: DominanceCounter | None = None,
     ) -> Plan:
@@ -97,14 +114,23 @@ class Planner:
 
         ``algorithm`` pins a registry name (``"sfs"``, ``"sdi-subset"``,
         ...); ``None`` selects adaptively from the dataset statistics.
-        ``workers > 1`` requests block-parallel execution (pinned plans
-        only honour it as given; the planner never turns it on itself).
+        ``index_backend`` pins the subset-index implementation (``"map"``
+        or ``"flat"``); ``None`` lets adaptive plans choose from the
+        cardinality/dimensionality thresholds while pinned plans keep the
+        direct-call default (``"map"``).  Likewise ``workers``: an explicit
+        count is honoured as given, ``None`` lets adaptive plans turn on
+        block-parallel execution above ``_PARALLEL_N`` rows (pinned plans
+        stay sequential).
         """
-        if workers < 1:
+        if workers is not None and workers < 1:
             raise InvalidParameterError(f"workers must be >= 1, got {workers}")
         if container not in ("subset", "list"):
             raise InvalidParameterError(
                 f"container must be 'subset' or 'list', got {container!r}"
+            )
+        if index_backend not in (None, "map", "flat"):
+            raise InvalidParameterError(
+                f"index_backend must be 'map' or 'flat', got {index_backend!r}"
             )
         options = tuple(sorted((host_options or {}).items()))
         if algorithm is not None:
@@ -115,6 +141,7 @@ class Planner:
                 container=container,
                 pivot_strategy=pivot_strategy,
                 memoize=memoize,
+                index_backend=index_backend,
                 workers=workers,
                 host_options=options,
             )
@@ -124,6 +151,7 @@ class Planner:
             container=container,
             pivot_strategy=pivot_strategy,
             memoize=memoize,
+            index_backend=index_backend,
             workers=workers,
             host_options=options,
             counter=counter,
@@ -140,7 +168,8 @@ class Planner:
         container: str,
         pivot_strategy: str,
         memoize: bool,
-        workers: int,
+        index_backend: str | None,
+        workers: int | None,
         host_options: tuple[tuple[str, object], ...],
     ) -> Plan:
         key = algorithm.lower()
@@ -172,7 +201,11 @@ class Planner:
             container=container,
             pivot_strategy=pivot_strategy,
             memoize=memoize,
-            workers=workers,
+            # Pinned plans keep the direct-call defaults unless the caller
+            # asks otherwise: map index, sequential execution — the mode
+            # with bit-for-bit counter parity versus get_algorithm calls.
+            index_backend=index_backend if index_backend is not None else "map",
+            workers=workers if workers is not None else 1,
             adaptive=False,
             host_options=host_options,
             reasons=(f"algorithm pinned by caller: {key}",),
@@ -188,7 +221,8 @@ class Planner:
         container: str,
         pivot_strategy: str,
         memoize: bool,
-        workers: int,
+        index_backend: str | None,
+        workers: int | None,
         host_options: tuple[tuple[str, object], ...],
         counter: DominanceCounter | None,
     ) -> Plan:
@@ -205,6 +239,10 @@ class Planner:
         resolved_sigma: int | None = None
         if boosted:
             resolved_sigma = self._select_sigma(prepared, host, sigma, reasons)
+        backend = self._select_backend(
+            stats, boosted, container, index_backend, reasons
+        )
+        resolved_workers = self._select_workers(stats, workers, reasons)
 
         return Plan(
             algorithm=host,
@@ -213,7 +251,8 @@ class Planner:
             container=container,
             pivot_strategy=pivot_strategy,
             memoize=memoize,
-            workers=workers,
+            index_backend=backend,
+            workers=resolved_workers,
             adaptive=True,
             host_options=host_options,
             signals=signals,
@@ -252,6 +291,58 @@ class Planner:
             "moderate d and independent dimensions: boosted entropy-sorted scan"
         )
         return "sfs", True
+
+    @staticmethod
+    def _select_backend(
+        stats: DatasetStatistics,
+        boosted: bool,
+        container: str,
+        index_backend: str | None,
+        reasons: list[str],
+    ) -> str:
+        if index_backend is not None:
+            if boosted and container == "subset":
+                reasons.append(f"index backend {index_backend!r} pinned by caller")
+            return index_backend
+        if not boosted or container != "subset":
+            # No subset index participates; the field is inert.
+            return "map"
+        if stats.cardinality >= _FLAT_N or stats.dimensionality >= _FLAT_D:
+            reasons.append(
+                f"n={stats.cardinality}, d={stats.dimensionality}: at or past "
+                f"the flat-index thresholds (n>={_FLAT_N} or d>={_FLAT_D}), "
+                "the vectorised superset filter beats per-node map probes"
+            )
+            return "flat"
+        reasons.append(
+            f"n={stats.cardinality} < {_FLAT_N} and d={stats.dimensionality} "
+            f"< {_FLAT_D}: candidate sets too small to amortise the flat "
+            "filter, keeping the map index"
+        )
+        return "map"
+
+    @staticmethod
+    def _select_workers(
+        stats: DatasetStatistics, workers: int | None, reasons: list[str]
+    ) -> int:
+        if workers is not None:
+            if workers > 1:
+                reasons.append(f"workers={workers} pinned by caller")
+            return workers
+        if stats.cardinality >= _PARALLEL_N:
+            # Imported lazily: the planner must not drag multiprocessing
+            # into the import graph of sequential-only sessions.
+            from repro.extensions.parallel import default_workers
+
+            chosen = default_workers()
+            if chosen > 1:
+                reasons.append(
+                    f"n={stats.cardinality} >= {_PARALLEL_N}: block-parallel "
+                    f"execution across {chosen} workers repays dispatch and "
+                    "the union merge"
+                )
+            return chosen
+        return 1
 
     def _select_sigma(
         self,

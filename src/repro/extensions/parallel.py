@@ -33,6 +33,8 @@ import os
 import threading
 from multiprocessing import shared_memory
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.algorithms.registry import get_algorithm
@@ -40,6 +42,10 @@ from repro.dataset import Dataset, as_dataset
 from repro.errors import InvalidParameterError
 from repro.obs.trace import current_tracer
 from repro.stats.counters import DominanceCounter
+
+if TYPE_CHECKING:
+    from repro.algorithms.base import SkylineAlgorithm
+    from repro.core.boost import SubsetBoost
 
 __all__ = [
     "SkylineWorkerPool",
@@ -61,14 +67,14 @@ def default_workers() -> int:
 
 
 def _shm_local_skyline(
-    args: tuple[str, tuple[int, ...], str, int, int, str],
+    args: tuple[str, tuple[int, ...], str, int, int, str, str],
 ) -> tuple[np.ndarray, int]:
     """Worker: skyline indices (block-local) and test count of one block.
 
     The block is sliced out of the shared segment and copied before the
     segment is detached, so the compute phase never holds shared pages.
     """
-    shm_name, shape, dtype, lo, hi, algorithm = args
+    shm_name, shape, dtype, lo, hi, algorithm, index_backend = args
     # Pool workers (fork or spawn) inherit the owner's resource tracker,
     # so attaching re-registers the already-registered name — a set-level
     # no-op.  The owner alone unlinks, on eviction, close() or atexit;
@@ -81,8 +87,17 @@ def _shm_local_skyline(
     finally:
         shm.close()
     counter = DominanceCounter()
-    result = get_algorithm(algorithm).compute(Dataset(block), counter=counter)
+    result = _resolve(algorithm, index_backend).compute(
+        Dataset(block), counter=counter
+    )
     return result.indices, counter.tests
+
+
+def _resolve(algorithm: str, index_backend: str) -> "SkylineAlgorithm | SubsetBoost":
+    """Instantiate ``algorithm``; backends only apply to boosted names."""
+    if algorithm.lower().endswith("-subset"):
+        return get_algorithm(algorithm, index_backend=index_backend)
+    return get_algorithm(algorithm)
 
 
 class SkylineWorkerPool:
@@ -172,12 +187,13 @@ class SkylineWorkerPool:
         values: np.ndarray,
         pairs: list[tuple[int, int]],
         algorithm: str,
+        index_backend: str = "map",
     ) -> list[tuple[np.ndarray, int]]:
         """Local skylines of ``values[lo:hi]`` for each ``(lo, hi)`` pair."""
         name = self._segment_for(values)
         shape, dtype = values.shape, str(values.dtype)
         tasks = [
-            (name, shape, dtype, int(lo), int(hi), algorithm)
+            (name, shape, dtype, int(lo), int(hi), algorithm, index_backend)
             for lo, hi in pairs
         ]
         pool = self._ensure_pool(len(tasks))
@@ -236,6 +252,7 @@ def parallel_skyline(
     merge_algorithm: str = "sfs",
     counter: DominanceCounter | None = None,
     pool: SkylineWorkerPool | None = None,
+    index_backend: str = "map",
 ) -> np.ndarray:
     """Compute the skyline with ``workers`` processes; returns sorted row ids.
 
@@ -253,6 +270,11 @@ def parallel_skyline(
         A :class:`SkylineWorkerPool` to run on; defaults to the shared
         process-wide pool, so consecutive calls reuse workers and the
         dataset's shared-memory segment.
+    index_backend:
+        Subset-index backend (``"map"``/``"flat"``) used wherever a
+        ``*-subset`` algorithm runs — the per-block local scans and, when
+        ``merge_algorithm`` is boosted, the merge over the union of local
+        skylines.  Plain algorithms ignore it.
     """
     dataset = as_dataset(data)
     if workers is None:
@@ -264,7 +286,9 @@ def parallel_skyline(
     workers = min(workers, n)
 
     if workers == 1:
-        result = get_algorithm(algorithm).compute(dataset, counter=counter)
+        result = _resolve(algorithm, index_backend).compute(
+            dataset, counter=counter
+        )
         return result.indices
 
     tracer = current_tracer()
@@ -278,9 +302,12 @@ def parallel_skyline(
         counter=counter,
         blocks=len(pairs),
         algorithm=algorithm,
+        index_backend=index_backend,
         n=n,
     ):
-        locals_ = pool.map_blocks(dataset.values, pairs, algorithm)
+        locals_ = pool.map_blocks(
+            dataset.values, pairs, algorithm, index_backend=index_backend
+        )
 
         candidate_ids: list[int] = []
         for (local_indices, tests), (lo, _hi) in zip(locals_, pairs):
@@ -294,6 +321,9 @@ def parallel_skyline(
         counter=counter,
         candidates=int(candidates.size),
         algorithm=merge_algorithm,
+        index_backend=index_backend,
     ):
-        merged = get_algorithm(merge_algorithm).compute(union, counter=counter)
+        merged = _resolve(merge_algorithm, index_backend).compute(
+            union, counter=counter
+        )
     return candidates[merged.indices]

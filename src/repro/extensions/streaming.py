@@ -72,7 +72,9 @@ class StreamingSkyline:
         self._max_anchors = anchors
         self._anchor_rows: list[np.ndarray] = []
         self._counter = counter if counter is not None else DominanceCounter()
-        self._index = SkylineIndex(d)
+        # Streaming keeps no value matrix up front, so the container's
+        # fused gather cannot apply; the bare map index is deliberate.
+        self._index = SkylineIndex(d)  # noqa: RPR007
         self._points: dict[int, np.ndarray] = {}
         self._masks: dict[int, int] = {}
         self._sky: set[int] = set()

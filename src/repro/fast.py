@@ -32,8 +32,11 @@ from repro.errors import InvalidParameterError
 #: Rows of one scanning chunk.
 _CHUNK = 256
 #: Skyline rows compared per broadcast tile; bounds peak memory at
-#: roughly ``_TILE * _CHUNK * d`` booleans.
-_TILE = 4096
+#: roughly ``_TILE * _CHUNK * d`` booleans.  Tiles are visited in
+#: insertion (ascending-sum) order — the strongest dominators — so a
+#: moderate tile also acts as an early exit: most of a chunk dies in the
+#: first tile and later tiles broadcast against the few rows still alive.
+_TILE = 256
 
 
 def fast_skyline(
@@ -67,24 +70,35 @@ def fast_skyline(
             tile = sky_rows[tile_start : tile_start + _TILE]
             candidates = block[alive]
             le = np.all(tile[:, None, :] <= candidates[None, :, :], axis=2)
-            eq = np.all(tile[:, None, :] == candidates[None, :, :], axis=2)
-            dominated = (le & ~eq).any(axis=0)
-            indices = np.nonzero(alive)[0]
-            alive[indices[dominated]] = False
+            # A weakly dominating pair is only *not* a dominating pair
+            # when the rows are exact duplicates, so the strictness check
+            # runs on the flagged pairs alone instead of a second full
+            # broadcast pass over the tile.
+            ti, cj = le.nonzero()
+            if ti.size:
+                strict = (tile[ti] != candidates[cj]).any(axis=1)
+                dominated = np.bincount(
+                    cj[strict], minlength=candidates.shape[0]
+                ).astype(bool)
+                indices = np.nonzero(alive)[0]
+                alive[indices[dominated]] = False
         survivors = block[alive]
         survivor_ids = block_ids[alive]
-        # Intra-chunk reduction: sum order puts dominators first, so one
-        # forward pass against the growing local skyline suffices.
-        local_keep: list[int] = []
-        for k in range(survivors.shape[0]):
-            if local_keep:
-                kept = survivors[local_keep]
-                le = np.all(kept <= survivors[k], axis=1)
-                eq = np.all(kept == survivors[k], axis=1)
-                if (le & ~eq).any():
-                    continue
-            local_keep.append(k)
-        if local_keep:
-            sky_rows = np.vstack([sky_rows, survivors[local_keep]])
-            sky_ids.extend(int(i) for i in survivor_ids[local_keep])
+        # Intra-chunk reduction, fully vectorised: in ascending-sum order
+        # a row can only be dominated by an *earlier* row (strict
+        # dominance implies a strictly smaller sum), and dominance is
+        # transitive, so "dominated by an earlier kept row" equals
+        # "dominated by any row" — one pairwise pass, no sequential loop.
+        if survivors.shape[0] > 1:
+            le = np.all(survivors[:, None, :] <= survivors[None, :, :], axis=2)
+            si, sj = le.nonzero()
+            strict = (survivors[si] != survivors[sj]).any(axis=1)
+            keep = np.bincount(
+                sj[strict], minlength=survivors.shape[0]
+            ) == 0
+            survivors = survivors[keep]
+            survivor_ids = survivor_ids[keep]
+        if survivors.shape[0]:
+            sky_rows = np.vstack([sky_rows, survivors])
+            sky_ids.extend(int(i) for i in survivor_ids)
     return np.asarray(sorted(sky_ids), dtype=np.intp)

@@ -1,0 +1,86 @@
+"""Schema-v2 report handling of ``benchmarks/bench_throughput.py``.
+
+The script is not a package module, so it is loaded from its file path;
+these tests exercise the pure report-file helpers (load/upsert/key) that
+implement the dedup-on-rerun contract — no benchmark workloads run here.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "bench_throughput.py"
+)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench_throughput", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestReportSchema:
+    def test_missing_file_yields_fresh_report(self, bench, tmp_path):
+        report = bench.load_report(tmp_path / "nope.json")
+        assert report == {
+            "schema_version": bench.SCHEMA_VERSION,
+            "scenarios": {},
+        }
+
+    def test_legacy_report_discarded(self, bench, tmp_path):
+        target = tmp_path / "BENCH.json"
+        target.write_text(json.dumps({"config": {}, "hosts": {}}))
+        report = bench.load_report(target)
+        assert report["schema_version"] == bench.SCHEMA_VERSION
+        assert report["scenarios"] == {}
+
+    def test_corrupt_file_discarded(self, bench, tmp_path):
+        target = tmp_path / "BENCH.json"
+        target.write_text("{not json")
+        assert bench.load_report(target)["scenarios"] == {}
+
+    def test_upsert_replaces_not_appends(self, bench, tmp_path):
+        target = tmp_path / "BENCH.json"
+        report = bench.load_report(target)
+        key = bench.scenario_key("flat_vs_map", "UI", 100, 4, 0)
+        bench.upsert(report, key, {"speedup": 1.0})
+        bench.upsert(report, key, {"speedup": 2.0})
+        assert len(report["scenarios"]) == 1
+        assert report["scenarios"][key]["speedup"] == 2.0
+
+    def test_distinct_configs_coexist(self, bench):
+        report = {"schema_version": bench.SCHEMA_VERSION, "scenarios": {}}
+        bench.upsert(
+            report, bench.scenario_key("flat_vs_map", "UI", 100, 4, 0), {}
+        )
+        bench.upsert(
+            report, bench.scenario_key("flat_vs_map", "UI", 4000, 6, 0), {}
+        )
+        bench.upsert(
+            report, bench.scenario_key("block_parallel", "UI", 100, 4, 0), {}
+        )
+        assert len(report["scenarios"]) == 3
+
+    def test_roundtrip_preserves_other_scenarios(self, bench, tmp_path):
+        target = tmp_path / "BENCH.json"
+        first = bench.load_report(target)
+        bench.upsert(
+            first, bench.scenario_key("phases", "UI", 100, 4, 0), {"a": 1}
+        )
+        target.write_text(json.dumps(first))
+        second = bench.load_report(target)
+        bench.upsert(
+            second, bench.scenario_key("phases", "CO", 100, 4, 0), {"b": 2}
+        )
+        assert len(second["scenarios"]) == 2
+
+    def test_entries_are_timestamped(self, bench):
+        report = {"schema_version": bench.SCHEMA_VERSION, "scenarios": {}}
+        key = bench.scenario_key("phases", "UI", 1, 1, 0)
+        bench.upsert(report, key, {})
+        assert isinstance(report["scenarios"][key]["recorded_unix"], int)

@@ -47,6 +47,22 @@ class TestPinned:
         with pytest.raises(InvalidParameterError):
             plan_for(ui_medium, "sfs", workers=0)
 
+    def test_invalid_index_backend_rejected(self, ui_medium):
+        with pytest.raises(InvalidParameterError):
+            plan_for(ui_medium, "sfs-subset", index_backend="btree")
+
+    def test_pinned_defaults_stay_direct_call_compatible(self, ui_medium):
+        plan = plan_for(ui_medium, "sfs-subset")
+        assert plan.index_backend == "map"
+        assert plan.workers == 1
+
+    def test_pinned_backend_and_workers_honoured(self, ui_medium):
+        plan = plan_for(
+            ui_medium, "sfs-subset", index_backend="flat", workers=3
+        )
+        assert plan.index_backend == "flat"
+        assert plan.workers == 3
+
 
 class TestDeterminism:
     def test_adaptive_plans_identical_across_instances(self, ui_medium):
@@ -109,6 +125,58 @@ class TestAdaptiveRegimes:
             assert 2 <= first.sigma <= ui_medium.dimensionality
 
 
+class TestAdaptiveBackendAndWorkers:
+    def test_small_low_d_keeps_map_index(self):
+        plan = plan_for(generate("UI", n=2000, d=3, seed=7))
+        assert plan.boosted
+        assert plan.index_backend == "map"
+
+    def test_high_d_selects_flat_index(self):
+        plan = plan_for(generate("UI", n=2000, d=6, seed=4))
+        assert plan.boosted
+        assert plan.index_backend == "flat"
+        assert any("flat" in reason for reason in plan.reasons)
+
+    def test_large_n_selects_flat_index(self):
+        plan = plan_for(generate("UI", n=25_000, d=4, seed=5))
+        if plan.boosted:
+            assert plan.index_backend == "flat"
+
+    def test_pinned_backend_overrides_adaptive_choice(self):
+        plan = plan_for(generate("UI", n=2000, d=6, seed=4), index_backend="map")
+        assert plan.index_backend == "map"
+        assert any("pinned" in reason for reason in plan.reasons)
+
+    def test_unboosted_plans_keep_inert_map_field(self):
+        plan = plan_for(generate("UI", n=200, d=3, seed=3))
+        assert not plan.boosted
+        assert plan.index_backend == "map"
+
+    def test_large_n_turns_on_block_parallel(self, monkeypatch):
+        import repro.extensions.parallel as parallel
+
+        monkeypatch.setattr(parallel, "default_workers", lambda: 4)
+        plan = plan_for(generate("UI", n=2000, d=6, seed=4))
+        assert plan.workers == 1  # below the threshold: sequential
+        stats = plan_for(generate("UI", n=2000, d=6, seed=4))
+        assert stats.workers == 1
+        big = PreparedDataset(generate("UI", n=2000, d=6, seed=4))
+        # Force the threshold without generating 200k rows.
+        from repro.engine import planner as planner_module
+
+        monkeypatch.setattr(planner_module, "_PARALLEL_N", 1000)
+        plan = Planner().plan(big)
+        assert plan.workers == 4
+        assert any("block-parallel" in reason for reason in plan.reasons)
+
+    def test_explicit_workers_suppress_adaptive_choice(self, monkeypatch):
+        from repro.engine import planner as planner_module
+
+        monkeypatch.setattr(planner_module, "_PARALLEL_N", 1000)
+        plan = plan_for(generate("UI", n=2000, d=6, seed=4), workers=1)
+        assert plan.workers == 1
+
+
 class TestPlanRendering:
     def test_explain_shows_mode_and_boost(self, ui_medium):
         text = plan_for(ui_medium, "sdi-subset").explain()
@@ -132,3 +200,12 @@ class TestPlanRendering:
         subset = plan_for(ui_medium, "sfs-subset", container="subset")
         listy = plan_for(ui_medium, "sfs-subset", container="list", memoize=False)
         assert subset.sort_cache_key == listy.sort_cache_key
+
+    def test_explain_reports_index_backend(self, ui_medium):
+        text = plan_for(ui_medium, "sfs-subset", index_backend="flat").explain()
+        assert "index=flat" in text
+
+    def test_sort_cache_key_ignores_index_backend(self, ui_medium):
+        map_plan = plan_for(ui_medium, "sfs-subset", index_backend="map")
+        flat_plan = plan_for(ui_medium, "sfs-subset", index_backend="flat")
+        assert map_plan.sort_cache_key == flat_plan.sort_cache_key

@@ -54,6 +54,34 @@ class TestParallelSkyline:
         )
         assert list(got) == brute_skyline_ids(dataset.values)
 
+    def test_boosted_blocks_with_flat_merge(self, dataset):
+        """Local boosted scans + merge through a flat-backend subset index."""
+        got = parallel_skyline(
+            dataset,
+            workers=2,
+            algorithm="sfs-subset",
+            merge_algorithm="sfs-subset",
+            index_backend="flat",
+        )
+        assert list(got) == brute_skyline_ids(dataset.values)
+
+    def test_index_backend_matches_map_results(self, dataset):
+        flat = parallel_skyline(
+            dataset,
+            workers=3,
+            algorithm="sdi-subset",
+            merge_algorithm="sdi-subset",
+            index_backend="flat",
+        )
+        mapped = parallel_skyline(
+            dataset,
+            workers=3,
+            algorithm="sdi-subset",
+            merge_algorithm="sdi-subset",
+            index_backend="map",
+        )
+        assert list(flat) == list(mapped)
+
     def test_duplicate_heavy(self, duplicate_heavy):
         got = parallel_skyline(duplicate_heavy, workers=3)
         assert list(got) == brute_skyline_ids(duplicate_heavy.values)
