@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install install-dev test test-fast bench experiments report examples \
-        lint typecheck analyze clean
+        lint typecheck analyze analyze-baseline clean
 
 install:
 	$(PYTHON) -m pip install -e ".[test]"
@@ -32,9 +32,12 @@ examples:
 	done
 
 # Repo-specific invariant lint (RPR rules), then ruff when available.
+# One shell with set -e so an repro.analysis failure always fails the
+# target — the optional ruff leg must never mask it.
 lint:
-	$(PYTHON) -m repro.analysis src/repro
-	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+	@set -e; \
+	$(PYTHON) -m repro.analysis src/repro; \
+	if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check src tests examples; \
 	else \
 		echo "ruff not installed — skipping style lint (make install-dev)"; \
@@ -50,6 +53,12 @@ typecheck:
 # The full correctness gate: lint rules + runtime contracts + differential.
 analyze:
 	$(PYTHON) -m repro.analysis --strict src/repro
+
+# Regenerate analysis-baseline.json deliberately (never implicitly).
+# Review the diff and replace every FIXME reason before committing —
+# unjustified entries do not suppress anything.
+analyze-baseline:
+	$(PYTHON) -m repro.analysis --write-baseline src/repro
 
 clean:
 	find . -type d -name __pycache__ -exec rm -rf {} +

@@ -3,9 +3,15 @@
 Two layers, one exit code:
 
 - **Static lint** (:mod:`repro.analysis.lint` / :mod:`repro.analysis.rules`)
-  — repo-specific AST rules RPR001–RPR004 enforcing the conventions the
+  — repo-specific rules RPR001–RPR012 enforcing the conventions the
   reproduction's *numbers* depend on: counted dominance tests, centralized
-  bitmask manipulation, registry hygiene, loop-hoisted scalar conversions.
+  bitmask manipulation, registry hygiene, loop-hoisted scalar conversions,
+  plus the interprocedural dataflow rules (cache-invalidation coherence,
+  worker-shared-state safety, counter-threading) built on the
+  whole-program model in :mod:`repro.analysis.symbols` /
+  :mod:`repro.analysis.callgraph` / :mod:`repro.analysis.mutation`.
+  Accepted pre-existing findings live in a fingerprinted baseline
+  (:mod:`repro.analysis.baseline`).
 - **Runtime contracts** (:mod:`repro.analysis.contracts` /
   :mod:`repro.analysis.differential`) — seeded end-to-end verification of
   Lemma 5.1 and Algorithm 1, plus differential testing of every registered
@@ -31,24 +37,48 @@ from repro.analysis.differential import (
     oracle_skyline,
     run_differential,
 )
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    fingerprint_findings,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.callgraph import CallGraph, build_call_graph
 from repro.analysis.lint import lint_paths
+from repro.analysis.mutation import MutationSummary, summarize_mutations
+from repro.analysis.project import Project, build_project
 from repro.analysis.report import Finding, Severity
-from repro.analysis.rules import ALL_RULES, rule_codes
+from repro.analysis.rules import ALL_RULES, ProjectRule, rule_codes
+from repro.analysis.symbols import SymbolTable, build_symbol_table
 
 __all__ = [
     "ALL_RULES",
+    "Baseline",
+    "BaselineEntry",
+    "CallGraph",
     "CheckedSubsetContainer",
     "ContractViolation",
     "Divergence",
     "Finding",
+    "MutationSummary",
+    "Project",
+    "ProjectRule",
     "Severity",
+    "SymbolTable",
+    "build_call_graph",
+    "build_project",
+    "build_symbol_table",
     "differential_findings",
+    "fingerprint_findings",
     "lint_paths",
+    "load_baseline",
     "minimize_counterexample",
     "oracle_skyline",
     "rule_codes",
     "run_contract_checks",
     "run_differential",
+    "summarize_mutations",
     "verify_index_superset_filter",
     "verify_merge_masks",
 ]

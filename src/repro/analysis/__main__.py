@@ -16,6 +16,14 @@ warnings fail too) — what CI runs::
 Only the bitmask rule, as JSON::
 
     python -m repro.analysis --select RPR002 --format json src/repro
+
+What a rule means and why it exists::
+
+    python -m repro.analysis --explain RPR010
+
+Findings already accepted in ``analysis-baseline.json`` (each with a
+written reason) are suppressed automatically; regenerate the file
+deliberately with ``--write-baseline`` (or ``make analyze-baseline``).
 """
 
 from __future__ import annotations
@@ -23,19 +31,25 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Sequence
+from typing import Iterable, Sequence
 
+from repro.analysis.baseline import Baseline, load_baseline, write_baseline
 from repro.analysis.contracts import run_contract_checks
 from repro.analysis.differential import differential_findings
 from repro.analysis.lint import lint_paths
 from repro.analysis.report import (
     Finding,
+    Severity,
     gate_exit_code,
     render_json,
     render_text,
     summarize,
 )
 from repro.analysis.rules import ALL_RULES
+
+#: Discovered in the working directory unless --baseline/--no-baseline says
+#: otherwise, so `make lint` and CI pick the checked-in debt up implicitly.
+DEFAULT_BASELINE = "analysis-baseline.json"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -79,14 +93,38 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (default: text)",
+        help="output format: human text, a JSON array (always printed, "
+        "even when empty), or GitHub ::error/::warning annotation lines",
     )
     parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        help="print one rule's full description and exit",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="baseline file of accepted findings "
+        f"(default: ./{DEFAULT_BASELINE} when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from the current findings and exit; "
+        "existing reasons are preserved by fingerprint, new entries get a "
+        "FIXME placeholder that keeps failing the gate until justified",
     )
     return parser
 
@@ -99,6 +137,62 @@ def _list_rules() -> str:
     return "\n".join(lines)
 
 
+def _explain(code: str) -> str | None:
+    wanted = code.strip().upper()
+    for rule in ALL_RULES:
+        if rule.code == wanted:
+            lines = [
+                f"{rule.code} — {rule.name} ({rule.severity})",
+                "",
+                rule.description,
+            ]
+            if rule.allowlist:
+                lines += ["", "exempt modules: " + ", ".join(rule.allowlist)]
+            if rule.engine_level:
+                lines += [
+                    "",
+                    "implemented by the lint engine itself (runs after all "
+                    "selected rules, over the suppression-usage map)",
+                ]
+            lines += [
+                "",
+                f"suppress one deliberate site with `# noqa: {rule.code} — reason`",
+                "(the reason is mandatory: RPR011 audits every suppression)",
+            ]
+            return "\n".join(lines)
+    return None
+
+
+def render_github(findings: Iterable[Finding]) -> str:
+    """GitHub workflow-command annotations, one line per finding."""
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    lines = []
+    for f in ordered:
+        level = "error" if f.severity is Severity.ERROR else "warning"
+        location = f"file={f.path}"
+        if f.line:
+            location += f",line={f.line}"
+        # Workflow commands terminate the message at a newline; findings
+        # are single-line already, but be safe.
+        message = f"{f.rule} {f.message}".replace("\n", " ")
+        lines.append(f"::{level} {location}::{message}")
+    return "\n".join(lines)
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Baseline | None:
+    if args.no_baseline:
+        return None
+    if args.baseline:
+        path = Path(args.baseline)
+        if not path.exists() and not args.write_baseline:
+            raise FileNotFoundError(f"baseline file not found: {path}")
+        return load_baseline(path) if path.exists() else None
+    default = Path(DEFAULT_BASELINE)
+    if default.exists():
+        return load_baseline(default)
+    return None
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -106,6 +200,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.list_rules:
         print(_list_rules())
         return 0
+    if args.explain:
+        text = _explain(args.explain)
+        if text is None:
+            parser.error(f"unknown rule code: {args.explain}")
+        print(text)
+        return 0
+    if args.no_baseline and (args.baseline or args.write_baseline):
+        parser.error("--no-baseline conflicts with --baseline/--write-baseline")
 
     select = args.select.split(",") if args.select else None
     findings: list[Finding] = []
@@ -121,12 +223,46 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.differential or args.strict:
         findings += differential_findings()
 
-    if findings:
-        renderer = render_json if args.format == "json" else render_text
-        print(renderer(findings))
-    if args.format == "text":
-        print(f"repro.analysis: {summarize(findings)}", file=sys.stderr)
-    return gate_exit_code(findings, strict=args.strict)
+    if args.write_baseline:
+        path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+        previous = load_baseline(path) if path.exists() else None
+        written = write_baseline(path, findings, previous)
+        unjustified = sum(
+            1 for e in written.entries.values() if not e.justified
+        )
+        print(
+            f"wrote {path}: {len(written.entries)} accepted finding(s), "
+            f"{unjustified} still needing a reason",
+            file=sys.stderr,
+        )
+        return 0
+
+    try:
+        baseline = _resolve_baseline(args)
+    except (FileNotFoundError, ValueError) as exc:
+        parser.error(str(exc))
+    if baseline is not None:
+        result = baseline.apply(findings)
+        reported = result.reported
+        suppressed_count = len(result.suppressed)
+    else:
+        reported = findings
+        suppressed_count = 0
+
+    if args.format == "json":
+        print(render_json(reported))
+    elif args.format == "github":
+        output = render_github(reported)
+        if output:
+            print(output)
+    elif reported:
+        print(render_text(reported))
+    if args.format != "json":
+        tally = f"repro.analysis: {summarize(reported)}"
+        if suppressed_count:
+            tally += f" ({suppressed_count} baselined)"
+        print(tally, file=sys.stderr)
+    return gate_exit_code(reported, strict=args.strict)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,125 @@
+"""A conservative, name-based call graph over the analyzed project.
+
+Precision model
+---------------
+Resolution is **by bare name**: a call ``f(x)`` or ``obj.f(x)`` dispatches
+to *every* known function or method named ``f`` (plus ``C.__init__`` for a
+constructor call ``C(...)``).  This deliberately over-approximates dynamic
+dispatch — the registry and engine façades hand out algorithm objects whose
+concrete type no static analysis here can pin down, so the safe answer to
+"what can ``algorithm.compute(...)`` reach?" is "any ``compute`` in the
+tree".  The consequences the rules must live with:
+
+- reachability sets err large, never small: a function reported *not* to
+  reach a dominance kernel truly cannot (under the model's assumption that
+  all calls stay inside the analyzed tree);
+- findings derived from reachability (RPR009/RPR010) can be false
+  positives on shared method names, which is what the justified-baseline
+  workflow exists to absorb.
+
+Calls to names with no known definition (numpy, stdlib) resolve to
+nothing and simply terminate the walk along that edge.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.symbols import FunctionInfo, SymbolTable
+
+__all__ = ["CallSite", "CallGraph", "build_call_graph"]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    name: str
+    lineno: int
+    node: ast.Call = field(compare=False, repr=False)
+
+
+def _called_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _collect_calls(fn: FunctionInfo) -> tuple[CallSite, ...]:
+    sites = []
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Call):
+            name = _called_name(node.func)
+            if name is not None:
+                sites.append(CallSite(name=name, lineno=node.lineno, node=node))
+    return tuple(sites)
+
+
+class CallGraph:
+    """Forward and reverse call edges keyed by function qualname."""
+
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+        self.calls: dict[str, tuple[CallSite, ...]] = {}
+        self.edges: dict[str, frozenset[str]] = {}
+        self._by_qualname = {fn.qualname: fn for fn in table.functions}
+        reverse: dict[str, set[str]] = {fn.qualname: set() for fn in table.functions}
+        for fn in table.functions:
+            sites = _collect_calls(fn)
+            self.calls[fn.qualname] = sites
+            targets: set[str] = set()
+            for site in sites:
+                for callee in table.resolve(site.name):
+                    targets.add(callee.qualname)
+                    reverse[callee.qualname].add(fn.qualname)
+            targets.discard(fn.qualname)
+            self.edges[fn.qualname] = frozenset(targets)
+        self.reverse_edges: dict[str, frozenset[str]] = {
+            qual: frozenset(callers) for qual, callers in reverse.items()
+        }
+
+    def function(self, qualname: str) -> FunctionInfo:
+        return self._by_qualname[qualname]
+
+    def reachable_from(self, roots: Iterable[str]) -> set[str]:
+        """Qualnames transitively callable from ``roots`` (roots included)."""
+        seen: set[str] = set()
+        stack = [r for r in roots if r in self.edges]
+        while stack:
+            qual = stack.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            stack.extend(self.edges[qual] - seen)
+        return seen
+
+    def reaching(self, call_names: set[str]) -> set[str]:
+        """Qualnames that transitively *make* a call to any of ``call_names``.
+
+        A function whose body contains a call to one of the names is a
+        direct member; everything that can reach a member through the call
+        graph joins the set.  The kernel implementations themselves are not
+        members by virtue of their name — only call sites count.
+        """
+        seen: set[str] = set()
+        stack = [
+            qual
+            for qual, sites in self.calls.items()
+            if any(site.name in call_names for site in sites)
+        ]
+        while stack:
+            qual = stack.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            stack.extend(self.reverse_edges.get(qual, frozenset()) - seen)
+        return seen
+
+
+def build_call_graph(table: SymbolTable) -> CallGraph:
+    """Build the conservative call graph for ``table``."""
+    return CallGraph(table)

@@ -109,7 +109,7 @@ def verify_index_superset_filter(dataset: Dataset, sigma: int | None = None) -> 
     from repro.core.stability import default_threshold
 
     d = dataset.dimensionality
-    counter = DominanceCounter()
+    counter = DominanceCounter()  # noqa: RPR010 — verification-only scratch; contract DT is deliberately unreported
     sigma = sigma if sigma is not None else default_threshold(d)
     merged = merge(dataset, sigma, counter)
     container = CheckedSubsetContainer(dataset.values, d)
@@ -140,7 +140,7 @@ def verify_merge_masks(dataset: Dataset, sigma: int) -> None:
     merged = merge(dataset, sigma)
     values = dataset.values
     pivot_rows = [values[pid] for pid in merged.pivot_ids]
-    scratch = DominanceCounter()
+    scratch = DominanceCounter()  # noqa: RPR010 — verification-only scratch; contract DT is deliberately unreported
     for position, point_id in enumerate(merged.remaining_ids):
         point_id = int(point_id)
         expected = maximum_dominating_subspace(values[point_id], pivot_rows, scratch)

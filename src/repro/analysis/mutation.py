@@ -1,0 +1,313 @@
+"""Per-function mutation and purity inference.
+
+For each function body this module answers, syntactically: *which names
+does it rebind locally, which attributes does it write (including writes
+through subscripts, ``self._x[...] = ...``), and which of those writes
+land on state the function does not own?*  The interprocedural rules
+consume the summaries:
+
+- RPR008 (cache coherence) asks which ``self.*`` attributes a method
+  mutates and whether the same method bumps a version or invalidates;
+- RPR009 (worker safety) asks whether a worker-reachable function writes
+  through a *non-local* root — closed-over or global state that other
+  workers or the parent share.
+
+The model is flow-insensitive and syntactic: a write anywhere in the body
+counts, mutating *calls* (``x.append(...)``, ``x.update(...)``) count as
+writes to ``x``, and ownership is "the root name is bound locally"
+(parameter, assignment, loop target, …).  ``global``/``nonlocal``
+declarations remove a name from the local set.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.symbols import FunctionInfo
+
+__all__ = ["AttributeWrite", "MutationSummary", "summarize_mutations", "MUTATING_METHODS"]
+
+#: Method names treated as in-place mutation of their receiver.  Includes
+#: the numpy in-place verbs (``fill``, ``sort``, ``put``, ``partial_sort``
+#: is not a thing — ``partition`` is) alongside the builtin container API.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "extend",
+        "insert",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "fill",
+        "sort",
+        "partition",
+        "put",
+    }
+)
+
+#: Receiver names that are module aliases, not objects: ``np.append(a, x)``
+#: is a pure function returning a new array, not an in-place mutation.
+_MODULE_RECEIVERS = frozenset({"np", "numpy"})
+
+
+@dataclass(frozen=True)
+class AttributeWrite:
+    """One attribute mutation: ``<root>.<attr>`` written at ``lineno``.
+
+    ``kind`` is ``"assign"`` (``x.a = v`` / ``x.a[i] = v`` / augmented),
+    ``"call"`` (``x.a.append(v)`` and friends), or ``"del"``.  For call
+    writes ``via`` names the mutating method (``"append"``, ``"clear"``,
+    …) so rules can treat emptying a structure differently from growing
+    it.  ``root_is_local`` records whether ``root`` is bound inside the
+    function — writes through local roots mutate state the function owns
+    (or was explicitly handed), writes through free/global roots mutate
+    shared state.
+    """
+
+    root: str
+    attr: str
+    lineno: int
+    kind: str
+    root_is_local: bool
+    via: str = ""
+
+
+@dataclass(frozen=True)
+class MutationSummary:
+    """What one function binds, writes and reads-as-guard."""
+
+    function: FunctionInfo = field(compare=False, repr=False)
+    local_names: frozenset[str]
+    writes: tuple[AttributeWrite, ...]
+    #: Names written via a ``global`` declaration (``global x; x = ...``).
+    global_writes: tuple[tuple[str, int], ...]
+    #: ``self`` attrs read through ``.get(...)`` — the guarded-fill idiom.
+    reads_get_of: frozenset[str]
+    #: ``self`` attrs read inside an ``if``/ternary test — ditto.
+    guard_read_attrs: frozenset[str]
+
+    def self_writes(self) -> tuple[AttributeWrite, ...]:
+        """Writes rooted at the method's ``self`` parameter."""
+        if not self.function.params:
+            return ()
+        receiver = self.function.params[0]
+        return tuple(w for w in self.writes if w.root == receiver)
+
+    def shared_writes(self) -> tuple[AttributeWrite, ...]:
+        """Writes through roots the function does not bind locally."""
+        return tuple(w for w in self.writes if not w.root_is_local)
+
+
+def _root_name(expr: ast.expr) -> ast.expr:
+    """Peel attributes/subscripts down to the base expression."""
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    return expr
+
+
+def _attr_chain_base(expr: ast.expr) -> tuple[str, str] | None:
+    """``(root, attr)`` for the outermost attribute in ``expr``.
+
+    ``self._cache[key]`` → ``("self", "_cache")``; ``self.a.b`` →
+    ``("self", "a")`` — the *first* attribute off the root is what the
+    rules care about (it names the owning slot).
+    """
+    # Walk to the innermost Attribute whose value is a Name.
+    node = expr
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        inner = node.value if isinstance(node, ast.Subscript) else node.value
+        if isinstance(node, ast.Attribute) and isinstance(inner, ast.Name):
+            return inner.id, node.attr
+        node = inner
+    return None
+
+
+def _collect_local_names(fn: FunctionInfo) -> frozenset[str]:
+    names: set[str] = set(fn.params)
+    declared_nonlocal: set[str] = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared_nonlocal.update(node.names)
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            # Only *binding* positions count: ``x = v`` binds ``x``, but
+            # ``shared[k] = v`` / ``obj.a = v`` mutate an existing object
+            # without binding anything — walking into those targets would
+            # misclassify writes through globals as local.
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                for element in _flatten_target(target):
+                    if isinstance(element, ast.Name):
+                        names.add(element.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    for sub in ast.walk(item.optional_vars):
+                        if isinstance(sub, ast.Name):
+                            names.add(sub.id)
+        elif isinstance(node, ast.comprehension):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+        elif isinstance(node, ast.ExceptHandler):
+            if node.name:
+                names.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node is not fn.node:
+                names.add(node.name)
+        elif isinstance(node, ast.NamedExpr) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return frozenset(names - declared_nonlocal)
+
+
+def _write_targets(fn: FunctionInfo, locals_: frozenset[str]) -> tuple[
+    list[AttributeWrite], list[tuple[str, int]]
+]:
+    writes: list[AttributeWrite] = []
+    global_names: set[str] = set()
+    global_writes: list[tuple[str, int]] = []
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Global):
+            global_names.update(node.names)
+
+    def record(target: ast.expr, lineno: int, kind: str, via: str = "") -> None:
+        if isinstance(target, ast.Name):
+            if target.id in global_names:
+                global_writes.append((target.id, lineno))
+            return
+        base = _attr_chain_base(target)
+        if base is None:
+            # A write through a subscript of a bare name (``shared[k] = v``)
+            # still mutates whatever ``shared`` refers to.
+            root = _root_name(target)
+            if isinstance(root, ast.Name) and isinstance(target, ast.Subscript):
+                writes.append(
+                    AttributeWrite(
+                        root=root.id,
+                        attr="[]",
+                        lineno=lineno,
+                        kind=kind,
+                        root_is_local=root.id in locals_ and root.id not in global_names,
+                        via=via,
+                    )
+                )
+            return
+        root, attr = base
+        writes.append(
+            AttributeWrite(
+                root=root,
+                attr=attr,
+                lineno=lineno,
+                kind=kind,
+                root_is_local=root in locals_ and root not in global_names,
+                via=via,
+            )
+        )
+
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                for element in _flatten_target(target):
+                    record(element, node.lineno, "assign")
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            record(node.target, node.lineno, "assign")
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                record(target, node.lineno, "del")
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in MUTATING_METHODS:
+                record_receiver = node.func.value
+                if (
+                    isinstance(record_receiver, ast.Name)
+                    and record_receiver.id in _MODULE_RECEIVERS
+                ):
+                    continue
+                if isinstance(record_receiver, ast.Name):
+                    # ``x.append(v)`` — mutation of the bare name ``x``.
+                    writes.append(
+                        AttributeWrite(
+                            root=record_receiver.id,
+                            attr="",
+                            lineno=node.lineno,
+                            kind="call",
+                            root_is_local=(
+                                record_receiver.id in locals_
+                                and record_receiver.id not in global_names
+                            ),
+                            via=node.func.attr,
+                        )
+                    )
+                else:
+                    record(record_receiver, node.lineno, "call", via=node.func.attr)
+    return writes, global_writes
+
+
+def _flatten_target(target: ast.expr) -> list[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[ast.expr] = []
+        for elt in target.elts:
+            out.extend(_flatten_target(elt))
+        return out
+    if isinstance(target, ast.Starred):
+        return _flatten_target(target.value)
+    return [target]
+
+
+def _guard_signals(fn: FunctionInfo) -> tuple[frozenset[str], frozenset[str]]:
+    """Attrs of the receiver read via ``.get(...)`` or inside if-tests."""
+    if not fn.params:
+        return frozenset(), frozenset()
+    receiver = fn.params[0]
+    gets: set[str] = set()
+    guards: set[str] = set()
+
+    def receiver_attrs(expr: ast.expr) -> set[str]:
+        found: set[str] = set()
+        for node in ast.walk(expr):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == receiver
+            ):
+                found.add(node.attr)
+        return found
+
+    for node in ast.walk(fn.node):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+        ):
+            gets |= receiver_attrs(node.func.value)
+        elif isinstance(node, (ast.If, ast.IfExp, ast.While)):
+            guards |= receiver_attrs(node.test)
+        elif isinstance(node, ast.Assert):
+            guards |= receiver_attrs(node.test)
+    return frozenset(gets), frozenset(guards)
+
+
+def summarize_mutations(fn: FunctionInfo) -> MutationSummary:
+    """Build the :class:`MutationSummary` for one function."""
+    locals_ = _collect_local_names(fn)
+    writes, global_writes = _write_targets(fn, locals_)
+    gets, guards = _guard_signals(fn)
+    return MutationSummary(
+        function=fn,
+        local_names=locals_,
+        writes=tuple(writes),
+        global_writes=tuple(global_writes),
+        reads_get_of=gets,
+        guard_read_attrs=guards,
+    )

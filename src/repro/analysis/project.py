@@ -1,0 +1,44 @@
+"""The whole-program model handed to :class:`~repro.analysis.rules.ProjectRule`.
+
+Bundles the three interprocedural views — symbol table, call graph and
+per-function mutation summaries — built once per analysis run and shared
+by every project-level rule (RPR008–RPR010).  Construction is a single
+AST pass per module plus one graph pass, so the full ``src/repro`` tree
+builds in well under a second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.callgraph import CallGraph, build_call_graph
+from repro.analysis.lint import ModuleInfo
+from repro.analysis.mutation import MutationSummary, summarize_mutations
+from repro.analysis.symbols import SymbolTable, build_symbol_table
+
+__all__ = ["Project", "build_project"]
+
+
+@dataclass(frozen=True)
+class Project:
+    """Parsed modules plus the derived interprocedural views."""
+
+    modules: tuple[ModuleInfo, ...]
+    table: SymbolTable
+    graph: CallGraph
+    mutations: dict[str, MutationSummary] = field(repr=False)
+
+    def mutation(self, qualname: str) -> MutationSummary:
+        return self.mutations[qualname]
+
+
+def build_project(modules: Iterable[ModuleInfo]) -> Project:
+    """Build the :class:`Project` model over already-parsed modules."""
+    module_tuple = tuple(modules)
+    table = build_symbol_table(module_tuple)
+    graph = build_call_graph(table)
+    mutations = {fn.qualname: summarize_mutations(fn) for fn in table.functions}
+    return Project(
+        modules=module_tuple, table=table, graph=graph, mutations=mutations
+    )

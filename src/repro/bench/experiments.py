@@ -159,9 +159,7 @@ def fig2(cfg: SweepConfig) -> ExperimentReport:
         scores = np.einsum("ij,ij->i", shifted, shifted)
         pivot = int(np.argmin(scores))
         rest = np.delete(np.arange(n), pivot)
-        # noqa: RPR001 — this figure reports the *distribution* of subspace
-        # sizes, not a DT metric; the tests here are deliberately unmetered.
-        masks = dominating_subspaces(values[rest], values[pivot])  # noqa: RPR001
+        masks = dominating_subspaces(values[rest], values[pivot])  # noqa: RPR001 — figure reports subspace-size distribution, not DT; deliberately unmetered
         masks = masks[masks != 0]  # pruned points carry no subspace
         sizes = np.bitwise_count(masks)
         histogram = np.bincount(sizes, minlength=d + 1)[1 : d + 1]

@@ -171,6 +171,14 @@ class SubsetContainer(SkylineContainer):
 
     Parameters
     ----------
+    values:
+        The dataset's value matrix, or ``None`` for an *id-only*
+        container: subset-index maintenance (:meth:`add`, :meth:`remove`,
+        :meth:`clear`, :meth:`query_ids`) works normally, but
+        :meth:`candidates` — which gathers coordinate blocks — raises.
+        The streaming extension uses this mode: it owns its own row
+        storage (points arrive one at a time), yet still routes index
+        construction through the sanctioned backend switch.
     memoize:
         Forwarded to the index; additionally enables the per-subspace
         gathered-block cache.  ``False`` reproduces the scalar reference
@@ -188,7 +196,7 @@ class SubsetContainer(SkylineContainer):
 
     def __init__(
         self,
-        values: np.ndarray,
+        values: np.ndarray | None,
         d: int,
         counter: DominanceCounter | None = None,
         memoize: bool = True,
@@ -227,7 +235,36 @@ class SubsetContainer(SkylineContainer):
         self._index.put(point_id, mask)
         self._all_ids.append(point_id)
 
+    def remove(self, point_id: int, mask: int) -> None:
+        """Remove a point previously :meth:`add`-ed under ``mask``.
+
+        Needed by incremental maintenance (streaming deletes); the index
+        bumps its epoch so memoized views rebuild instead of trusting the
+        stable-prefix contract.
+        """
+        self._index.remove(point_id, mask)
+        self._all_ids.remove(point_id)
+
+    def clear(self) -> None:
+        """Drop every stored point and all cached per-mask views."""
+        self._index.clear()
+        self._all_ids.clear()
+        self._blocks.clear()
+
+    def query_ids(self, mask: int) -> list[int]:
+        """Candidate ids for ``mask``, without gathering coordinate rows.
+
+        The id-level complement of :meth:`candidates` for hosts that keep
+        their own row storage (works on value-less containers too).
+        """
+        return self._index.query(mask, self._counter)
+
     def candidates(self, mask: int) -> tuple[np.ndarray, np.ndarray]:
+        if self._values is None:
+            raise InvalidParameterError(
+                "candidates() needs the value matrix; this container was "
+                "built id-only (values=None) — use query_ids() instead"
+            )
         if self._backend == "flat":
             # Fused path: the flat index serves ids and gathered rows from
             # one cache probe — no separate _MaskBlock bookkeeping.

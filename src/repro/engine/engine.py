@@ -201,7 +201,7 @@ class SkylineEngine:
             return run_unboosted_scan(dataset, host, counter, sort_cache)
         # Non-phase algorithms (BNL, BBS, D&C, ...) have no cacheable sort
         # phase; run their private body under the engine's timer.
-        return host._run(dataset, counter)  # noqa: SLF001
+        return host._run(dataset, counter)  # noqa: SLF001 — engine is the sanctioned caller of algorithm bodies
 
     def close(self) -> None:
         """Release the context's session state."""

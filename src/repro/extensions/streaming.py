@@ -11,7 +11,8 @@ The structure therefore freezes the first ``anchors`` observed points as
 pure geometric anchors, computes every point's subspace mask against them,
 and keeps:
 
-- the current skyline in a :class:`~repro.core.subset_index.SkylineIndex`
+- the current skyline in a :class:`~repro.core.container.SubsetContainer`
+  (id-only, backend-switchable)
   keyed by those masks — candidate dominators for any probe are retrieved
   with one subset query;
 - every dominated live point in a buffer, so deletions of skyline points
@@ -30,7 +31,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.subset_index import SkylineIndex
+from repro.core.container import SubsetContainer
 from repro.dominance import first_dominator
 from repro.errors import DimensionMismatchError, InvalidParameterError
 from repro.stats.counters import DominanceCounter
@@ -52,6 +53,11 @@ class StreamingSkyline:
         Number of leading points frozen as mask anchors.  More anchors give
         finer subspace partitions (fewer candidates per query) at the cost
         of longer mask computation per arrival.
+    backend:
+        Subset-index backend (``"map"``/``"flat"``), forwarded to
+        :class:`~repro.core.container.SubsetContainer`.  Streaming keeps
+        no value matrix up front, so the container runs id-only: queries
+        return ids and the stream gathers rows from its own point store.
 
     >>> sky = StreamingSkyline(d=2)
     >>> a = sky.insert([1.0, 4.0]); b = sky.insert([2.0, 2.0])
@@ -63,7 +69,13 @@ class StreamingSkyline:
     True
     """
 
-    def __init__(self, d: int, anchors: int = 8, counter: DominanceCounter | None = None) -> None:
+    def __init__(
+        self,
+        d: int,
+        anchors: int = 8,
+        counter: DominanceCounter | None = None,
+        backend: str = "map",
+    ) -> None:
         if d < 1:
             raise InvalidParameterError(f"dimensionality must be >= 1, got {d}")
         if anchors < 1:
@@ -72,9 +84,12 @@ class StreamingSkyline:
         self._max_anchors = anchors
         self._anchor_rows: list[np.ndarray] = []
         self._counter = counter if counter is not None else DominanceCounter()
-        # Streaming keeps no value matrix up front, so the container's
-        # fused gather cannot apply; the bare map index is deliberate.
-        self._index = SkylineIndex(d)  # noqa: RPR007
+        # Id-only container: streaming gathers rows from its own point
+        # store, but index construction stays on the sanctioned backend
+        # switch so map/flat selection is a one-argument choice.
+        self._store = SubsetContainer(
+            None, d, counter=self._counter, backend=backend
+        )
         self._points: dict[int, np.ndarray] = {}
         self._masks: dict[int, int] = {}
         self._sky: set[int] = set()
@@ -89,6 +104,7 @@ class StreamingSkyline:
         counter: DominanceCounter | None = None,
         engine: "SkylineEngine | None" = None,
         algorithm: str | None = None,
+        backend: str = "map",
     ) -> "StreamingSkyline":
         """Bulk-load a dataset as the stream's prefix, batch-computed.
 
@@ -106,7 +122,9 @@ class StreamingSkyline:
         from repro.engine import SkylineEngine
 
         dataset = as_dataset(data)
-        stream = cls(dataset.dimensionality, anchors=anchors, counter=counter)
+        stream = cls(
+            dataset.dimensionality, anchors=anchors, counter=counter, backend=backend
+        )
         values = dataset.values
         n = dataset.cardinality
         stream._anchor_rows = [values[i].copy() for i in range(min(anchors, n))]
@@ -130,7 +148,7 @@ class StreamingSkyline:
             stream._masks[point_id] = int(mask_values[point_id])
             if point_id in skyline_ids:
                 stream._sky.add(point_id)
-                stream._index.put(point_id, stream._masks[point_id])
+                stream._store.add(point_id, stream._masks[point_id])
             else:
                 stream._buffer.add(point_id)
         stream._next_id = n
@@ -182,7 +200,7 @@ class StreamingSkyline:
         mask = self._mask_of(row)
         self._masks[point_id] = mask
 
-        candidate_ids = self._index.query(mask, self._counter)
+        candidate_ids = self._store.query_ids(mask)
         block = self._gather(candidate_ids)
         if first_dominator(block, row, self._counter) != -1:
             self._buffer.add(point_id)
@@ -199,10 +217,10 @@ class StreamingSkyline:
             for demoted in np.asarray(sky_ids, dtype=np.intp)[dominated]:
                 demoted = int(demoted)
                 self._sky.discard(demoted)
-                self._index.remove(demoted, self._masks[demoted])
+                self._store.remove(demoted, self._masks[demoted])
                 self._buffer.add(demoted)
         self._sky.add(point_id)
-        self._index.put(point_id, mask)
+        self._store.add(point_id, mask)
         return point_id
 
     def delete(self, point_id: int) -> None:
@@ -215,7 +233,7 @@ class StreamingSkyline:
             self._buffer.discard(point_id)
             return
         self._sky.discard(point_id)
-        self._index.remove(point_id, mask)
+        self._store.remove(point_id, mask)
 
         # Promotion sweep: only points the deleted row dominated can become
         # skyline.  Ascending coordinate sum guarantees that a promoted
@@ -227,20 +245,20 @@ class StreamingSkyline:
         ]
         exposed.sort(key=lambda i: float(self._points[i].sum()))
         for buf_id in exposed:
-            candidate_ids = self._index.query(self._masks[buf_id], self._counter)
+            candidate_ids = self._store.query_ids(self._masks[buf_id])
             block = self._gather(candidate_ids)
             if first_dominator(block, self._points[buf_id], self._counter) == -1:
                 self._buffer.discard(buf_id)
                 self._sky.add(buf_id)
-                self._index.put(buf_id, self._masks[buf_id])
+                self._store.add(buf_id, self._masks[buf_id])
 
     def _recompute_masks(self) -> None:
         """Refresh every live mask and rebuild the index for new anchors."""
-        self._index.clear()
+        self._store.clear()
         for pid, row in self._points.items():
             self._masks[pid] = self._mask_of(row)
         for pid in self._sky:
-            self._index.put(pid, self._masks[pid])
+            self._store.add(pid, self._masks[pid])
 
     def _charged_dominates(self, p: np.ndarray, q: np.ndarray) -> bool:
         self._counter.add()

@@ -1,0 +1,7 @@
+"""RPR001 fires: dominance kernel called without a counter."""
+
+from repro.dominance import dominates
+
+
+def f(p, q):
+    return dominates(p, q)

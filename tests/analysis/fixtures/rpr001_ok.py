@@ -1,0 +1,7 @@
+"""RPR001 correctly suppressed: a deliberately unmetered diagnostic."""
+
+from repro.dominance import dominates
+
+
+def f(p, q):
+    return dominates(p, q)  # noqa: RPR001 — diagnostic figure; tests deliberately unmetered

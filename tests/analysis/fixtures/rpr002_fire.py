@@ -1,0 +1,5 @@
+"""RPR002 fires: raw bitwise surgery on a subspace mask."""
+
+
+def widen(mask):
+    return mask | 4

@@ -1,0 +1,5 @@
+"""RPR002 correctly suppressed: a justified low-level mask operation."""
+
+
+def widen(mask):
+    return mask | 4  # noqa: RPR002 — fixture demo of a justified bit op

@@ -1,0 +1,6 @@
+# lint-path: algorithms/fixture_algo.py
+"""RPR003 fires: an algorithm module without __all__."""
+
+
+class Foo:
+    name = "foo"

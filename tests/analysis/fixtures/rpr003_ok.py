@@ -1,0 +1,8 @@
+# lint-path: algorithms/fixture_algo.py
+"""RPR003 clean: one exported algorithm per module."""
+
+__all__ = ["Foo"]
+
+
+class Foo:
+    name = "foo"

@@ -1,0 +1,8 @@
+"""RPR004 fires: per-element float() boxing inside a loop."""
+
+
+def f(order, coords):
+    total = 0.0
+    for i in order:
+        total += float(coords[i])
+    return total

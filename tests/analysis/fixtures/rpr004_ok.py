@@ -1,0 +1,9 @@
+"""RPR004 clean: the conversion is hoisted out of the loop."""
+
+
+def f(order, coords):
+    listed = coords.tolist()
+    total = 0.0
+    for i in order:
+        total += listed[i]
+    return total

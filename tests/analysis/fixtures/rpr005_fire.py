@@ -1,0 +1,7 @@
+"""RPR005 fires: hand-wired SubsetBoost outside core/ and engine/."""
+
+from repro.core.boost import SubsetBoost
+
+
+def f(host, dataset):
+    return SubsetBoost(host, sigma=2).compute(dataset)

@@ -1,0 +1,7 @@
+"""RPR005 correctly suppressed: deliberate low-level wiring."""
+
+from repro.core.boost import SubsetBoost
+
+
+def f(host, dataset):
+    return SubsetBoost(host).compute(dataset)  # noqa: RPR005 — microbenchmark needs raw boost, no engine caches

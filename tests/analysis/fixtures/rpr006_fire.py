@@ -1,0 +1,9 @@
+"""RPR006 fires: raw clock read outside obs/."""
+
+import time
+
+
+def f(body):
+    started = time.perf_counter()
+    body()
+    return time.perf_counter() - started

@@ -1,0 +1,7 @@
+"""RPR006 correctly suppressed: a justified raw read."""
+
+import time
+
+
+def f():
+    return time.perf_counter()  # noqa: RPR006 — fixture demo of a justified raw clock read

@@ -1,0 +1,7 @@
+"""RPR007 fires: hand-built subset index outside core/ and engine/."""
+
+from repro.core.subset_index import SkylineIndex
+
+
+def f(d):
+    return SkylineIndex(d)

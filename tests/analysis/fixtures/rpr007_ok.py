@@ -1,0 +1,7 @@
+"""RPR007 correctly suppressed: deliberate bare-index wiring."""
+
+from repro.core.subset_index import SkylineIndex
+
+
+def f(d):
+    return SkylineIndex(d)  # noqa: RPR007 — index internals test; the container switch is exercised elsewhere

@@ -1,0 +1,23 @@
+"""RPR008 fires: a memo-backing write with no version bump.
+
+``PreparedThing`` is a versioned class (it owns ``_version`` and an
+``invalidate`` method), so every mutation of its cache must advance the
+version or invalidate — ``poison`` does neither.  This is the seeded
+regression for the cache-coherence rule.
+"""
+
+
+class PreparedThing:
+    def __init__(self):
+        self._cache = {}
+        self._version = 0
+
+    def invalidate(self):
+        self._version += 1
+        self._cache.clear()
+
+    def lookup(self, key):
+        return self._cache.get(key)
+
+    def poison(self, key, value):
+        self._cache[key] = value

@@ -1,0 +1,25 @@
+"""RPR008 clean: every cache mutation is versioned or a guarded fill."""
+
+
+class PreparedThing:
+    def __init__(self):
+        self._cache = {}
+        self._version = 0
+
+    def invalidate(self):
+        self._version += 1
+        self._cache.clear()
+
+    def store(self, key, value):
+        # Coherent write: the version advances with the cache.
+        self._cache[key] = value
+        self._version += 1
+
+    def memoized(self, key):
+        # Guarded get-then-fill: the cache is consulted before the write,
+        # so this is the memo filling itself, not a coherence hazard.
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = key * 2
+            self._cache[key] = cached
+        return cached

@@ -1,0 +1,12 @@
+"""RPR009 fires: a worker-submitted function mutates shared state."""
+
+RESULTS = []
+
+
+def work(task):
+    RESULTS.append(task)
+    return task
+
+
+def run(pool, tasks):
+    return pool.map(work, tasks)

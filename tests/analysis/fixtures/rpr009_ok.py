@@ -1,0 +1,14 @@
+"""RPR009 clean: workers return results; the parent merges them."""
+
+
+def work(task):
+    out = []
+    out.append(task)
+    return out
+
+
+def run(pool, tasks):
+    merged = []
+    for part in pool.map(work, tasks):
+        merged.extend(part)
+    return merged

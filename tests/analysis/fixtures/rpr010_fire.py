@@ -1,0 +1,27 @@
+"""RPR010 fires: a locally constructed counter fed into a kernel-reaching
+call without escaping.
+
+``kernel_user`` does not call a kernel syntactically interesting by
+itself, but it transitively reaches ``dominates`` through the call
+graph.  ``caller`` builds a throwaway ``DominanceCounter`` and hands it
+to ``kernel_user`` — the counts die with the local, so the rule fires at
+the construction site.  This is the seeded transitively-uncounted
+regression.
+"""
+
+from repro.stats.counters import DominanceCounter
+
+
+def dominates(p, q, counter):
+    counter.record("dominates", 1)
+    return all(a <= b for a, b in zip(p, q))
+
+
+def kernel_user(p, q, counter):
+    return dominates(p, q, counter)
+
+
+def caller(p, q):
+    scratch = DominanceCounter()
+    verdict = kernel_user(p, q, scratch)
+    return verdict

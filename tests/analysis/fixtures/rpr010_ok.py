@@ -1,0 +1,14 @@
+"""RPR010 clean: the counter is a conditional default threaded from the
+caller, so counts flow back to whoever supplied one."""
+
+from repro.stats.counters import DominanceCounter
+
+
+def dominates(p, q, counter):
+    counter.record("dominates", 1)
+    return all(a <= b for a, b in zip(p, q))
+
+
+def kernel_user(p, q, counter=None):
+    counter = counter if counter is not None else DominanceCounter()
+    return dominates(p, q, counter)

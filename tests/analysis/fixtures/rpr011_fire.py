@@ -1,0 +1,3 @@
+"""RPR011 fires: a suppression with no justification text."""
+
+x = 1  # noqa: RPR002

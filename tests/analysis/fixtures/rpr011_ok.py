@@ -1,0 +1,3 @@
+"""RPR011 clean: the suppression carries a one-line justification."""
+
+x = 1  # noqa: RPR002 — exercises the hygiene audit; the code is inert here

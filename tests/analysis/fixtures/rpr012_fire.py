@@ -1,0 +1,8 @@
+"""RPR012 fires: a broad handler that swallows the exception."""
+
+
+def f(job):
+    try:
+        job()
+    except Exception:
+        pass

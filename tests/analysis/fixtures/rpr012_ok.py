@@ -1,0 +1,17 @@
+"""RPR012 clean: narrow handling, and a justified deliberate swallow."""
+
+
+def f(job, log):
+    try:
+        job()
+    except ValueError as exc:
+        log.append(exc)
+        return None
+    return True
+
+
+def g(job):
+    try:
+        job()
+    except Exception:  # noqa: RPR012 — best-effort cleanup; failure here must never mask the original error
+        pass

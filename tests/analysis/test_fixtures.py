@@ -1,0 +1,72 @@
+"""Golden fixtures: every rule has one firing and one clean example.
+
+Each ``tests/analysis/fixtures/rprXXX_fire.py`` must trigger exactly its
+rule, and the sibling ``rprXXX_ok.py`` must not — either because the code
+is compliant or because the finding is suppressed with a justified
+``noqa``.  A fixture may begin with a ``# lint-path: <relative path>``
+directive when the rule is sensitive to where the file lives (RPR003
+only polices ``algorithms/``); the harness copies it to that location
+inside a scratch tree before linting.
+
+The meta-test closes the loop: a rule is not done until it has both
+fixtures and a catalogue section in ``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths
+from repro.analysis.rules import rule_codes
+
+FIXTURES = Path(__file__).parent / "fixtures"
+DOCS = Path(__file__).parents[2] / "docs" / "ANALYSIS.md"
+
+_DIRECTIVE = "# lint-path: "
+
+
+def _lint_fixture(fixture: Path, code: str, tmp_path: Path) -> list:
+    """Copy ``fixture`` into a scratch tree and lint it with one rule."""
+    text = fixture.read_text()
+    first_line = text.splitlines()[0] if text else ""
+    if first_line.startswith(_DIRECTIVE):
+        rel = first_line[len(_DIRECTIVE) :].strip()
+    else:
+        rel = fixture.name
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(text)
+    return lint_paths([tmp_path], select=[code], root=tmp_path)
+
+
+@pytest.mark.parametrize("code", rule_codes())
+def test_fire_fixture_triggers_rule(code, tmp_path):
+    fixture = FIXTURES / f"{code.lower()}_fire.py"
+    findings = _lint_fixture(fixture, code, tmp_path)
+    assert any(f.rule == code for f in findings), (
+        f"{fixture.name} should trigger {code}, got {findings!r}"
+    )
+
+
+@pytest.mark.parametrize("code", rule_codes())
+def test_ok_fixture_stays_clean(code, tmp_path):
+    fixture = FIXTURES / f"{code.lower()}_ok.py"
+    findings = _lint_fixture(fixture, code, tmp_path)
+    assert not findings, (
+        f"{fixture.name} should be clean for {code}, got {findings!r}"
+    )
+
+
+@pytest.mark.parametrize("code", rule_codes())
+def test_every_rule_has_fixtures_and_docs(code):
+    assert (FIXTURES / f"{code.lower()}_fire.py").is_file(), (
+        f"missing firing fixture for {code}"
+    )
+    assert (FIXTURES / f"{code.lower()}_ok.py").is_file(), (
+        f"missing clean fixture for {code}"
+    )
+    assert f"### {code} —" in DOCS.read_text(), (
+        f"docs/ANALYSIS.md has no catalogue section for {code}"
+    )

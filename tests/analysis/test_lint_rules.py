@@ -207,12 +207,24 @@ class TestRPR004NumpyScalarLeak:
 
 class TestSuppression:
     def test_noqa_with_code_suppresses(self, tmp_path):
-        findings = lint_source(tmp_path, "mask = mask | 4  # noqa: RPR002\n")
+        findings = lint_source(
+            tmp_path,
+            "mask = mask | 4  # noqa: RPR002 — synthetic mask for the suppression test\n",
+        )
         assert findings == []
 
+    def test_unjustified_noqa_suppresses_but_fails_hygiene(self, tmp_path):
+        findings = lint_source(tmp_path, "mask = mask | 4  # noqa: RPR002\n")
+        assert [f.rule for f in findings] == ["RPR011"]
+        assert "justif" in findings[0].message.lower()
+
     def test_noqa_with_other_code_does_not(self, tmp_path):
-        findings = lint_source(tmp_path, "mask = mask | 4  # noqa: RPR001\n")
-        assert [f.rule for f in findings] == ["RPR002"]
+        findings = lint_source(
+            tmp_path,
+            "mask = mask | 4  # noqa: RPR001 — wrong code on purpose\n",
+        )
+        # The RPR002 finding is unsuppressed, and the RPR001 tag is stale.
+        assert sorted(f.rule for f in findings) == ["RPR002", "RPR011"]
 
     def test_bare_noqa_is_ignored(self, tmp_path):
         findings = lint_source(tmp_path, "mask = mask | 4  # noqa\n")
@@ -257,6 +269,11 @@ class TestEngine:
             "RPR005",
             "RPR006",
             "RPR007",
+            "RPR008",
+            "RPR009",
+            "RPR010",
+            "RPR011",
+            "RPR012",
         ]
 
 

@@ -1,0 +1,462 @@
+"""Unit tests for the project-wide rules (RPR008–RPR012) and the
+dataflow machinery underneath them (symbol table, call graph, mutation
+summaries).
+
+These complement the golden fixtures with multi-module scenarios and
+the exemption edge cases: the fixtures show each rule's canonical
+fire/clean pair, while these tests pin the interprocedural behaviour —
+transitive kernel reachability across files, escape analysis, closure
+writes, and the guarded-fill exemption.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.analysis.lint import parse_module
+from repro.analysis.project import build_project
+from repro.analysis.mutation import summarize_mutations
+
+
+def _write_tree(tmp_path: Path, files: dict[str, str]) -> Path:
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def _lint(tmp_path: Path, files: dict[str, str], select: list[str]) -> list:
+    root = _write_tree(tmp_path, files)
+    return lint_paths([root], select=select, root=root)
+
+
+def _project(tmp_path: Path, files: dict[str, str]):
+    root = _write_tree(tmp_path, files)
+    modules = []
+    for rel in sorted(files):
+        module = parse_module(root / rel, root=root)
+        assert not hasattr(module, "rule"), f"fixture {rel} failed to parse"
+        modules.append(module)
+    return build_project(modules)
+
+
+class TestCounterThreadingInterprocedural:
+    """RPR010 must see through intermediate, cross-module calls."""
+
+    def test_transitive_kernel_call_across_modules_fires(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "kern.py": """
+                    def dominates(p, q, counter):
+                        counter.record("dominates", 1)
+                        return True
+                """,
+                "mid.py": """
+                    from kern import dominates
+
+                    def kernel_user(p, q, counter):
+                        return dominates(p, q, counter)
+                """,
+                "top.py": """
+                    from repro.stats.counters import DominanceCounter
+                    from mid import kernel_user
+
+                    def caller(p, q):
+                        scratch = DominanceCounter()
+                        verdict = kernel_user(p, q, scratch)
+                        return verdict
+                """,
+            },
+            select=["RPR010"],
+        )
+        assert [f.rule for f in findings] == ["RPR010"]
+        assert findings[0].path.endswith("top.py")
+
+    def test_returned_counter_is_exempt(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "mod.py": """
+                    from repro.stats.counters import DominanceCounter
+
+                    def dominates(p, q, counter):
+                        counter.record("dominates", 1)
+
+                    def run(p, q):
+                        counter = DominanceCounter()
+                        dominates(p, q, counter)
+                        return counter
+                """,
+            },
+            select=["RPR010"],
+        )
+        assert findings == []
+
+    def test_counter_stored_on_attribute_is_exempt(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "mod.py": """
+                    from repro.stats.counters import DominanceCounter
+
+                    def dominates(p, q, counter):
+                        counter.record("dominates", 1)
+
+                    class Session:
+                        def start(self, p, q):
+                            self.counter = DominanceCounter()
+                            dominates(p, q, self.counter)
+                """,
+            },
+            select=["RPR010"],
+        )
+        assert findings == []
+
+    def test_absorbed_counter_is_exempt(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "mod.py": """
+                    from repro.stats.counters import DominanceCounter
+
+                    def dominates(p, q, counter):
+                        counter.record("dominates", 1)
+
+                    def run(p, q, totals):
+                        scratch = DominanceCounter()
+                        dominates(p, q, scratch)
+                        totals.absorb(scratch)
+                """,
+            },
+            select=["RPR010"],
+        )
+        assert findings == []
+
+    def test_function_not_reaching_kernels_is_exempt(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "mod.py": """
+                    from repro.stats.counters import DominanceCounter
+
+                    def unrelated():
+                        scratch = DominanceCounter()
+                        scratch.record("dominates", 1)
+                """,
+            },
+            select=["RPR010"],
+        )
+        assert findings == []
+
+
+class TestCacheCoherence:
+    """RPR008: memo writes in versioned classes must move the version."""
+
+    def test_unversioned_cache_write_fires(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "mod.py": """
+                    class Store:
+                        def __init__(self):
+                            self._cache = {}
+                            self._generation = 0
+
+                        def invalidate(self):
+                            self._generation += 1
+                            self._cache.clear()
+
+                        def poison(self, key, value):
+                            self._cache[key] = value
+                """,
+            },
+            select=["RPR008"],
+        )
+        assert [f.rule for f in findings] == ["RPR008"]
+        assert "poison" in findings[0].message or findings[0].line > 0
+
+    def test_write_with_version_bump_is_clean(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "mod.py": """
+                    class Store:
+                        def __init__(self):
+                            self._cache = {}
+                            self._generation = 0
+
+                        def invalidate(self):
+                            self._generation += 1
+                            self._cache.clear()
+
+                        def put(self, key, value):
+                            self._cache[key] = value
+                            self._generation += 1
+                """,
+            },
+            select=["RPR008"],
+        )
+        assert findings == []
+
+    def test_guarded_memo_fill_is_clean(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "mod.py": """
+                    class Store:
+                        def __init__(self):
+                            self._cache = {}
+                            self._generation = 0
+
+                        def invalidate(self):
+                            self._generation += 1
+                            self._cache.clear()
+
+                        def memoized(self, key):
+                            hit = self._cache.get(key)
+                            if hit is None:
+                                hit = key * 2
+                                self._cache[key] = hit
+                            return hit
+                """,
+            },
+            select=["RPR008"],
+        )
+        assert findings == []
+
+    def test_unversioned_class_is_out_of_scope(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "mod.py": """
+                    class PlainBag:
+                        def __init__(self):
+                            self._cache = {}
+
+                        def put(self, key, value):
+                            self._cache[key] = value
+                """,
+            },
+            select=["RPR008"],
+        )
+        assert findings == []
+
+
+class TestWorkerSharedState:
+    """RPR009: worker-reachable code must not mutate shared state."""
+
+    def test_global_append_in_worker_fires(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "mod.py": """
+                    RESULTS = []
+
+                    def work(task):
+                        RESULTS.append(task)
+                        return task
+
+                    def run(pool, tasks):
+                        return pool.map(work, tasks)
+                """,
+            },
+            select=["RPR009"],
+        )
+        assert [f.rule for f in findings] == ["RPR009"]
+
+    def test_transitive_helper_mutation_fires(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "mod.py": """
+                    STATE = {}
+
+                    def helper(task):
+                        STATE[task] = True
+
+                    def work(task):
+                        helper(task)
+                        return task
+
+                    def run(executor, tasks):
+                        return executor.submit(work, tasks)
+                """,
+            },
+            select=["RPR009"],
+        )
+        assert [f.rule for f in findings] == ["RPR009"]
+
+    def test_local_accumulator_is_clean(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "mod.py": """
+                    def work(task):
+                        out = []
+                        out.append(task)
+                        return out
+
+                    def run(pool, tasks):
+                        return pool.map(work, tasks)
+                """,
+            },
+            select=["RPR009"],
+        )
+        assert findings == []
+
+    def test_closure_write_to_enclosing_local_is_clean(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "mod.py": """
+                    def run(pool, tasks):
+                        merged = []
+
+                        def work(task):
+                            merged.append(task)
+                            return task
+
+                        return pool.map(work, tasks)
+                """,
+            },
+            select=["RPR009"],
+        )
+        assert findings == []
+
+
+class TestSwallowedException:
+    def test_bare_except_fires(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "mod.py": """
+                    def f(job):
+                        try:
+                            job()
+                        except:
+                            return None
+                """,
+            },
+            select=["RPR012"],
+        )
+        assert [f.rule for f in findings] == ["RPR012"]
+
+    def test_broad_except_with_handling_is_clean(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "mod.py": """
+                    def f(job, log):
+                        try:
+                            job()
+                        except Exception as exc:
+                            log.append(exc)
+                            raise
+                """,
+            },
+            select=["RPR012"],
+        )
+        assert findings == []
+
+
+class TestNoqaHygiene:
+    def test_stale_suppression_fires_when_rule_ran(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "mod.py": """
+                    x = 1  # noqa: RPR012 — nothing here can raise, kept for the audit test
+                """,
+            },
+            select=["RPR011", "RPR012"],
+        )
+        assert [f.rule for f in findings] == ["RPR011"]
+        assert "stale" in findings[0].message.lower()
+
+    def test_live_justified_suppression_is_clean(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "mod.py": """
+                    def f(job):
+                        try:
+                            job()
+                        except Exception:  # noqa: RPR012 — best-effort teardown, deliberately silent
+                            pass
+                """,
+            },
+            select=["RPR011", "RPR012"],
+        )
+        assert findings == []
+
+
+class TestDataflowMachinery:
+    """Direct coverage for the symbol-table / call-graph / mutation layer."""
+
+    def test_call_graph_reaching_is_transitive(self, tmp_path):
+        project = _project(
+            tmp_path,
+            {
+                "mod.py": """
+                    def dominates(p, q):
+                        return True
+
+                    def middle(p, q):
+                        return dominates(p, q)
+
+                    def outer(p, q):
+                        return middle(p, q)
+
+                    def bystander():
+                        return 0
+                """,
+            },
+        )
+        reaching = project.graph.reaching({"dominates"})
+        names = {q.split("::")[-1] for q in reaching}
+        assert {"middle", "outer"} <= names
+        assert "bystander" not in names
+
+    def test_mutation_summary_classifies_writes(self, tmp_path):
+        project = _project(
+            tmp_path,
+            {
+                "mod.py": """
+                    TOTALS = {}
+
+                    def f(self, key):
+                        local = []
+                        local.append(key)
+                        self._cache[key] = 1
+                        TOTALS[key] = 1
+                """,
+            },
+        )
+        (qualname,) = [q for q in project.mutations if q.endswith("::f")]
+        summary = project.mutations[qualname]
+        roots = {(w.root, w.root_is_local) for w in summary.writes}
+        assert ("local", True) in roots
+        # Params count as local: writes through ``self`` mutate state the
+        # function was explicitly handed, not shared module state.
+        assert ("self", True) in roots
+        assert ("TOTALS", False) in roots
+
+    def test_numpy_receiver_calls_are_not_writes(self, tmp_path):
+        project = _project(
+            tmp_path,
+            {
+                "mod.py": """
+                    import numpy as np
+
+                    def f(values, extra):
+                        return np.append(values, extra)
+                """,
+            },
+        )
+        (qualname,) = [q for q in project.mutations if q.endswith("::f")]
+        summary = project.mutations[qualname]
+        assert not [w for w in summary.writes if w.root == "np"]

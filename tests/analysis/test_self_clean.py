@@ -1,15 +1,47 @@
-"""The repo must pass its own gate: ``repro.analysis src/repro`` is clean."""
+"""The repo must pass its own gate: ``repro.analysis src/repro`` is clean.
 
+Clean means: no finding outside the checked-in baseline, every baseline
+entry justified with a real reason (no FIXME placeholders), and no stale
+baseline entries — exactly what ``python -m repro.analysis --strict``
+enforces in CI.
+"""
+
+import time
 from pathlib import Path
 
+from repro.analysis.baseline import load_baseline
 from repro.analysis.lint import lint_paths
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "analysis-baseline.json"
 
 
-def test_library_lints_clean():
-    findings = lint_paths([REPO_ROOT / "src" / "repro"], root=REPO_ROOT)
-    errors = [f for f in findings if f.severity.value == "error"]
-    warnings = [f for f in findings if f.severity.value == "warning"]
-    assert errors == [], "\n".join(f.render() for f in errors)
-    assert warnings == [], "\n".join(f.render() for f in warnings)
+def _lint_library():
+    return lint_paths([REPO_ROOT / "src" / "repro"], root=REPO_ROOT)
+
+
+def test_library_lints_clean_after_baseline():
+    findings = _lint_library()
+    baseline = load_baseline(BASELINE)
+    result = baseline.apply(findings)
+    reported = result.reported
+    assert reported == [], "\n".join(f.render() for f in reported)
+
+
+def test_baseline_entries_are_all_justified():
+    baseline = load_baseline(BASELINE)
+    unjustified = [e for e in baseline.entries.values() if not e.justified]
+    assert unjustified == [], [e.fingerprint for e in unjustified]
+
+
+def test_baseline_has_no_stale_entries():
+    result = load_baseline(BASELINE).apply(_lint_library())
+    assert result.stale == (), [e.fingerprint for e in result.stale]
+
+
+def test_analysis_wall_clock_budget():
+    """The whole-tree analysis must stay fast enough to run on every PR."""
+    started = time.monotonic()
+    _lint_library()
+    elapsed = time.monotonic() - started
+    assert elapsed < 10.0, f"analysis took {elapsed:.1f}s on src/repro (budget: 10s)"
