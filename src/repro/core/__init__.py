@@ -13,6 +13,9 @@
   paper proposes, with list-backed and subset-index-backed implementations.
 - :mod:`repro.core.boost` — ``SubsetBoost``: wires Merge + the subset index
   into any sorting-based host algorithm (SFS-Subset, SaLSa-Subset, ...).
+- :mod:`repro.core.prefix` — shared-survivor prefix kernels for prune-aware
+  block-parallel execution (monotone scan order, prefix selection and the
+  vectorised early-exit block filter).
 - :mod:`repro.core.autotune` — sample-based stability-threshold selection
   (the paper's future-work item (2)).
 """
@@ -21,6 +24,12 @@ from repro.core.boost import SubsetBoost
 from repro.core.container import ListContainer, SkylineContainer, SubsetContainer
 from repro.core.flat_index import FlatSubsetIndex
 from repro.core.merge import MergeResult, merge
+from repro.core.prefix import (
+    block_bounds,
+    monotone_order,
+    prefix_filter,
+    select_prefix,
+)
 from repro.core.stability import StabilityTracker, subspace_size_histogram
 from repro.core.subset_index import SkylineIndex
 from repro.core.subspace import (
@@ -38,9 +47,13 @@ __all__ = [
     "StabilityTracker",
     "SubsetBoost",
     "SubsetContainer",
+    "block_bounds",
     "implies_incomparable",
     "maximum_dominating_subspace",
     "may_dominate",
     "merge",
+    "monotone_order",
+    "prefix_filter",
+    "select_prefix",
     "subspace_size_histogram",
 ]

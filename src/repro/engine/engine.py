@@ -94,6 +94,7 @@ class SkylineEngine:
         memoize: bool = True,
         index_backend: str | None = None,
         workers: int | None = None,
+        parallel_strategy: str | None = None,
         host_options: Mapping[str, object] | None = None,
     ) -> SkylineResult:
         """Plan (unless ``plan`` is given) and execute one skyline query.
@@ -102,10 +103,12 @@ class SkylineEngine:
         registry name pins the exact direct-call wiring.  ``index_backend``
         and ``workers`` default to ``None`` — "planner decides": pinned
         plans keep the direct-call wiring (map index, sequential), adaptive
-        plans choose from the dataset statistics.  The returned result's
-        ``counter`` is the per-run counter (the caller's, if provided) and
-        ``result.plan`` is the executed plan; the run is also absorbed into
-        ``context.counter``.
+        plans choose from the dataset statistics.  ``parallel_strategy``
+        pins the block-parallel mode for ``workers > 1`` (``"prefix"`` is
+        the prune-aware default, ``"even"`` the legacy split).  The
+        returned result's ``counter`` is the per-run counter (the caller's,
+        if provided) and ``result.plan`` is the executed plan; the run is
+        also absorbed into ``context.counter``.
         """
         tracer = self.context.tracer
         run_counter = self.context.run_counter(counter)
@@ -123,6 +126,7 @@ class SkylineEngine:
                         memoize=memoize,
                         index_backend=index_backend,
                         workers=workers,
+                        parallel_strategy=parallel_strategy,
                         host_options=host_options,
                         counter=run_counter,
                     )
@@ -160,8 +164,20 @@ class SkylineEngine:
         if plan.workers > 1:
             # Block-parallel path: lazy import keeps engine -> extensions
             # off the module import graph (extensions import the engine).
+            from repro.core.prefix import monotone_order
             from repro.extensions.parallel import parallel_skyline
 
+            order = None
+            if plan.parallel_strategy == "prefix":
+                # The monotone scan order is a pure function of the
+                # values; prepared sessions compute it once and reuse it
+                # across every parallel query (and the worker pool keys
+                # its shared order segment off the same array identity).
+                order = prepared.artefact(
+                    ("parallel", "monotone-order"),
+                    lambda: monotone_order(dataset.values),
+                    counter,
+                )
             indices = parallel_skyline(
                 dataset,
                 workers=plan.workers,
@@ -174,6 +190,10 @@ class SkylineEngine:
                 counter=counter,
                 pool=self.context.pool,
                 index_backend=plan.index_backend,
+                partition="sorted" if plan.parallel_strategy == "prefix" else "even",
+                prefix_size=plan.prefix_size,
+                block_growth=plan.block_growth,
+                order=order,
             )
             return [int(i) for i in indices]
 

@@ -41,6 +41,19 @@ class Plan:
         are identical either way.
     workers:
         Process count for block-parallel execution; ``1`` is sequential.
+    parallel_strategy:
+        How block-parallel execution partitions and prunes: ``"none"``
+        (sequential), ``"prefix"`` (sort-order partitioning with the
+        shared-survivor prefix exchange — the default for ``workers > 1``)
+        or ``"even"`` (the PR 5 even row-range split, no pruning).
+    prefix_size:
+        Shared-survivor prefix points broadcast to every worker before the
+        local scans (``0`` when the strategy does not exchange a prefix).
+    block_growth:
+        Geometric block-size growth along the partition order; ``1.0`` is
+        an even split.  Derived from the expected skyline fraction in
+        adaptive plans: the stronger the prefix prunes, the larger late
+        blocks can be.
     adaptive:
         ``True`` when the planner chose the algorithm from dataset
         statistics; ``False`` when the caller pinned it (the mode with
@@ -61,6 +74,9 @@ class Plan:
     memoize: bool = True
     index_backend: str = "map"
     workers: int = 1
+    parallel_strategy: str = "none"
+    prefix_size: int = 0
+    block_growth: float = 1.0
     adaptive: bool = False
     host_options: tuple[tuple[str, object], ...] = ()
     signals: tuple[tuple[str, float], ...] = field(default=(), compare=True)
@@ -113,10 +129,15 @@ class Plan:
         if self.host_options:
             options = ", ".join(f"{k}={v!r}" for k, v in self.host_options)
             lines.append(f"  host options: {options}")
-        lines.append(
-            "  execution: "
-            + (f"parallel x{self.workers}" if self.workers > 1 else "sequential")
-        )
+        if self.workers > 1:
+            detail = self.parallel_strategy
+            if self.prefix_size:
+                detail += f", prefix={self.prefix_size}"
+            if self.block_growth != 1.0:
+                detail += f", growth={self.block_growth:g}"
+            lines.append(f"  execution: parallel x{self.workers} [{detail}]")
+        else:
+            lines.append("  execution: sequential")
         if self.signals:
             rendered = ", ".join(f"{name}={value:g}" for name, value in self.signals)
             lines.append(f"  signals: {rendered}")

@@ -69,6 +69,25 @@ _FLAT_D = 6
 #: dispatch and the sequential merge over the union of local skylines.
 _PARALLEL_N = 200_000
 
+#: Minimum rows per parallel block.  ``default_workers`` is uncapped (the
+#: host CPU count), so the planner bounds the *effective* worker count by
+#: block size instead: below this many rows per block, process dispatch
+#: and per-block Merge setup dominate any split of the scan work.
+_MIN_BLOCK_ROWS = 50_000
+
+#: Shared-survivor prefix bounds for adaptive plans.  The prefix grows
+#: slowly with the expected skyline (more prefix points keep their pruning
+#: power when the skyline is large) but stays small: every survivor is
+#: charged one dominance test per prefix point during the worker-side
+#: filter, so an oversized prefix taxes exactly the points that matter.
+_MIN_PREFIX, _MAX_PREFIX = 8, 32
+
+#: Prefix size and block growth of *pinned* plans with ``workers > 1``.
+#: Pinned mode must stay a pure function of the caller's arguments (no
+#: estimator statistics), so fixed defaults replace the adaptive formulas.
+_PINNED_PREFIX = 16
+_PINNED_GROWTH = 1.5
+
 
 class Planner:
     """Chooses algorithm, container and execution mode for one query.
@@ -107,6 +126,7 @@ class Planner:
         memoize: bool = True,
         index_backend: str | None = None,
         workers: int | None = None,
+        parallel_strategy: str | None = None,
         host_options: Mapping[str, object] | None = None,
         counter: DominanceCounter | None = None,
     ) -> Plan:
@@ -120,7 +140,9 @@ class Planner:
         direct-call default (``"map"``).  Likewise ``workers``: an explicit
         count is honoured as given, ``None`` lets adaptive plans turn on
         block-parallel execution above ``_PARALLEL_N`` rows (pinned plans
-        stay sequential).
+        stay sequential).  ``parallel_strategy`` pins how a parallel plan
+        partitions and prunes (``"prefix"``/``"even"``); ``None`` selects
+        the prune-aware prefix exchange whenever ``workers > 1``.
         """
         if workers is not None and workers < 1:
             raise InvalidParameterError(f"workers must be >= 1, got {workers}")
@@ -131,6 +153,11 @@ class Planner:
         if index_backend not in (None, "map", "flat"):
             raise InvalidParameterError(
                 f"index_backend must be 'map' or 'flat', got {index_backend!r}"
+            )
+        if parallel_strategy not in (None, "prefix", "even"):
+            raise InvalidParameterError(
+                "parallel_strategy must be 'prefix' or 'even', "
+                f"got {parallel_strategy!r}"
             )
         options = tuple(sorted((host_options or {}).items()))
         if algorithm is not None:
@@ -143,6 +170,7 @@ class Planner:
                 memoize=memoize,
                 index_backend=index_backend,
                 workers=workers,
+                parallel_strategy=parallel_strategy,
                 host_options=options,
             )
         return self._adaptive(
@@ -153,6 +181,7 @@ class Planner:
             memoize=memoize,
             index_backend=index_backend,
             workers=workers,
+            parallel_strategy=parallel_strategy,
             host_options=options,
             counter=counter,
         )
@@ -170,6 +199,7 @@ class Planner:
         memoize: bool,
         index_backend: str | None,
         workers: int | None,
+        parallel_strategy: str | None,
         host_options: tuple[tuple[str, object], ...],
     ) -> Plan:
         key = algorithm.lower()
@@ -194,6 +224,16 @@ class Planner:
                     f"sigma is only meaningful for '-subset' algorithms, got {key!r}"
                 )
             resolved = None
+        resolved_workers = workers if workers is not None else 1
+        reasons = [f"algorithm pinned by caller: {key}"]
+        strategy, prefix_size, growth = self._resolve_strategy(
+            resolved_workers, parallel_strategy, _PINNED_PREFIX, _PINNED_GROWTH
+        )
+        if resolved_workers > 1:
+            reasons.append(
+                f"workers={resolved_workers} pinned by caller: "
+                f"{strategy} block-parallel execution"
+            )
         return Plan(
             algorithm=host,
             boosted=boosted,
@@ -204,12 +244,33 @@ class Planner:
             # Pinned plans keep the direct-call defaults unless the caller
             # asks otherwise: map index, sequential execution — the mode
             # with bit-for-bit counter parity versus get_algorithm calls.
+            # Parallel knobs (prefix size, growth) use fixed defaults so
+            # pinned plans stay a pure function of the caller's arguments.
             index_backend=index_backend if index_backend is not None else "map",
-            workers=workers if workers is not None else 1,
+            workers=resolved_workers,
+            parallel_strategy=strategy,
+            prefix_size=prefix_size,
+            block_growth=growth,
             adaptive=False,
             host_options=host_options,
-            reasons=(f"algorithm pinned by caller: {key}",),
+            reasons=tuple(reasons),
         )
+
+    @staticmethod
+    def _resolve_strategy(
+        workers: int,
+        parallel_strategy: str | None,
+        prefix_size: int,
+        growth: float,
+    ) -> tuple[str, int, float]:
+        """Normalise the parallel knobs for a resolved worker count."""
+        if workers <= 1:
+            return "none", 0, 1.0
+        strategy = parallel_strategy if parallel_strategy is not None else "prefix"
+        if strategy == "even":
+            # The legacy PR 5 split: even row ranges, no pruning exchange.
+            return "even", 0, 1.0
+        return "prefix", prefix_size, growth
 
     # -- adaptive mode ------------------------------------------------------
 
@@ -223,6 +284,7 @@ class Planner:
         memoize: bool,
         index_backend: str | None,
         workers: int | None,
+        parallel_strategy: str | None,
         host_options: tuple[tuple[str, object], ...],
         counter: DominanceCounter | None,
     ) -> Plan:
@@ -243,6 +305,9 @@ class Planner:
             stats, boosted, container, index_backend, reasons
         )
         resolved_workers = self._select_workers(stats, workers, reasons)
+        strategy, prefix_size, growth = self._select_parallel(
+            stats, resolved_workers, parallel_strategy, reasons
+        )
 
         return Plan(
             algorithm=host,
@@ -253,6 +318,9 @@ class Planner:
             memoize=memoize,
             index_backend=backend,
             workers=resolved_workers,
+            parallel_strategy=strategy,
+            prefix_size=prefix_size,
+            block_growth=growth,
             adaptive=True,
             host_options=host_options,
             signals=signals,
@@ -334,15 +402,53 @@ class Planner:
             # into the import graph of sequential-only sessions.
             from repro.extensions.parallel import default_workers
 
-            chosen = default_workers()
+            by_size = max(1, stats.cardinality // _MIN_BLOCK_ROWS)
+            chosen = min(default_workers(), by_size)
             if chosen > 1:
                 reasons.append(
                     f"n={stats.cardinality} >= {_PARALLEL_N}: block-parallel "
-                    f"execution across {chosen} workers repays dispatch and "
-                    "the union merge"
+                    f"execution across {chosen} workers "
+                    f"(cpus={default_workers()}, capped so blocks keep "
+                    f">= {_MIN_BLOCK_ROWS} rows) repays dispatch and the "
+                    "union merge"
                 )
             return chosen
         return 1
+
+    def _select_parallel(
+        self,
+        stats: DatasetStatistics,
+        workers: int,
+        parallel_strategy: str | None,
+        reasons: list[str],
+    ) -> tuple[str, int, float]:
+        """Strategy, prefix size and block growth for ``workers`` blocks.
+
+        The prefix grows with the cube root of the expected skyline —
+        enough extra pruning points to keep coverage on skyline-heavy data
+        without taxing every survivor with a long filter pass.  Block
+        growth rises as the expected skyline *fraction* falls: a strong
+        prefix clears most of the late (sort-order tail) blocks, so they
+        can be larger without unbalancing the per-block scan work.
+        """
+        if workers <= 1:
+            return "none", 0, 1.0
+        if parallel_strategy == "even":
+            reasons.append("parallel strategy 'even' pinned by caller")
+            return "even", 0, 1.0
+        prefix_size = min(
+            _MAX_PREFIX,
+            max(_MIN_PREFIX, int(round(stats.expected_skyline ** (1.0 / 3.0)))),
+        )
+        growth = round(
+            1.0 + max(0.0, min(1.0, 1.0 - 8.0 * stats.skyline_fraction)), 2
+        )
+        reasons.append(
+            f"prefix exchange: {prefix_size} shared survivors filter every "
+            f"block before its local scan; sort-order blocks grow x{growth:g} "
+            f"(expected skyline {stats.expected_skyline:.0f})"
+        )
+        return "prefix", prefix_size, growth
 
     def _select_sigma(
         self,

@@ -84,3 +84,57 @@ class TestReportSchema:
         key = bench.scenario_key("phases", "UI", 1, 1, 0)
         bench.upsert(report, key, {})
         assert isinstance(report["scenarios"][key]["recorded_unix"], int)
+
+
+class TestGateStatus:
+    def test_block_parallel_skip_records_explicit_reason(self, bench):
+        # The schema contract: a skipped wall gate is never a silent null —
+        # run_block_parallel writes gate_pass=None together with a
+        # skip_reason string (asserted end-to-end by the CI smoke run);
+        # describe_gates must surface that reason.
+        entry = {
+            "gate_pass": None,
+            "skip_reason": "cpu_count=1 < workers=4: no cores",
+            "dt_gate_pass": True,
+            "identical": True,
+        }
+        status = bench.describe_gates(entry)
+        assert "wall-gate=SKIPPED (cpu_count=1 < workers=4: no cores)" in status
+        assert "dt-gate=PASS" in status
+        assert "identical=yes" in status
+
+    def test_describe_gates_handles_legacy_gate_skipped(self, bench):
+        entry = {"gate_pass": None, "gate_skipped": "old reason"}
+        assert "wall-gate=SKIPPED (old reason)" in bench.describe_gates(entry)
+
+    def test_describe_gates_pass_fail_and_bare_entries(self, bench):
+        assert "wall-gate=PASS" in bench.describe_gates({"gate_pass": True})
+        assert "wall-gate=FAIL" in bench.describe_gates({"gate_pass": False})
+        assert "dt-gate=FAIL" in bench.describe_gates({"dt_gate_pass": False})
+        assert "warm-2x=PASS" in bench.describe_gates({"meets_2x": True})
+        assert "identical=NO" in bench.describe_gates({"identical": False})
+        assert bench.describe_gates({}) == "no gates"
+
+    def test_list_scenarios_prints_every_recorded_key(
+        self, bench, tmp_path, capsys
+    ):
+        target = tmp_path / "BENCH.json"
+        report = bench.load_report(target)
+        key = bench.scenario_key("block_parallel", "UI", 1000, 6, 0)
+        bench.upsert(
+            report,
+            key,
+            {"gate_pass": True, "dt_gate_pass": True, "identical": True},
+        )
+        target.write_text(json.dumps(report))
+        assert bench.main(["--list-scenarios", "--out", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert key in out
+        assert "wall-gate=PASS" in out
+
+    def test_list_scenarios_empty_report(self, bench, tmp_path, capsys):
+        assert (
+            bench.main(["--list-scenarios", "--out", str(tmp_path / "x.json")])
+            == 0
+        )
+        assert "no recorded scenarios" in capsys.readouterr().out

@@ -1,0 +1,148 @@
+"""Unit tests for the shared-survivor prefix kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.prefix import (
+    block_bounds,
+    monotone_order,
+    prefix_filter,
+    select_prefix,
+)
+from repro.data import generate
+from repro.errors import InvalidParameterError
+from repro.stats.counters import DominanceCounter
+from tests.conftest import brute_skyline_ids
+
+
+def dominates(p, q):
+    """Strict dominance under minimisation (Definition 3.1)."""
+    return bool(np.all(p <= q) and np.any(p < q))
+
+
+@pytest.fixture(scope="module")
+def values():
+    return generate("UI", n=120, d=3, seed=7).values
+
+
+class TestMonotoneOrder:
+    def test_is_a_permutation(self, values):
+        order = monotone_order(values)
+        assert order.dtype == np.intp
+        assert sorted(order.tolist()) == list(range(len(values)))
+
+    def test_no_later_point_dominates_an_earlier_one(self, values):
+        order = monotone_order(values)
+        rows = values[order]
+        for i in range(len(rows)):
+            for j in range(i + 1, len(rows)):
+                assert not dominates(rows[j], rows[i])
+
+    def test_deterministic(self, values):
+        assert np.array_equal(monotone_order(values), monotone_order(values))
+
+
+class TestSelectPrefix:
+    def test_points_are_global_skyline_members(self, values):
+        order = monotone_order(values)
+        prefix = select_prefix(values, order, 8, DominanceCounter())
+        skyline = set(brute_skyline_ids(values))
+        assert 0 < prefix.size <= 8
+        assert set(prefix.tolist()) <= skyline
+
+    def test_mutually_non_dominated(self, values):
+        order = monotone_order(values)
+        prefix = select_prefix(values, order, 12, DominanceCounter())
+        rows = values[prefix]
+        for i in range(len(rows)):
+            for j in range(len(rows)):
+                if i != j:
+                    assert not dominates(rows[i], rows[j])
+
+    def test_zero_size_is_empty_and_free(self, values):
+        counter = DominanceCounter()
+        prefix = select_prefix(values, monotone_order(values), 0, counter)
+        assert prefix.size == 0
+        assert counter.tests == 0
+
+    def test_selection_charges_tests(self, values):
+        counter = DominanceCounter()
+        select_prefix(values, monotone_order(values), 8, counter)
+        assert counter.tests > 0
+
+
+class TestPrefixFilter:
+    def test_matches_brute_force_dominance(self, values):
+        order = monotone_order(values)
+        prefix_ids = select_prefix(values, order, 8, DominanceCounter())
+        prefix = values[prefix_ids]
+        keep = prefix_filter(values, prefix, DominanceCounter())
+        for i, row in enumerate(values):
+            expected = not any(dominates(p, row) for p in prefix)
+            assert keep[i] == expected
+
+    def test_never_removes_a_skyline_point(self, values):
+        order = monotone_order(values)
+        prefix = values[select_prefix(values, order, 16, DominanceCounter())]
+        keep = prefix_filter(values, prefix, DominanceCounter())
+        assert all(keep[i] for i in brute_skyline_ids(values))
+
+    def test_rows_equal_to_a_prefix_point_survive(self):
+        prefix = np.array([[0.2, 0.3]])
+        block = np.array([[0.2, 0.3], [0.2, 0.4], [0.5, 0.1]])
+        keep = prefix_filter(block, prefix, DominanceCounter())
+        assert keep.tolist() == [True, False, True]
+
+    def test_charges_exact_early_exit_tests(self, values):
+        order = monotone_order(values)
+        prefix = values[select_prefix(values, order, 8, DominanceCounter())]
+        counter = DominanceCounter()
+        prefix_filter(values, prefix, counter)
+        expected = 0
+        for row in values:
+            for position, p in enumerate(prefix):
+                if dominates(p, row):
+                    expected += position + 1
+                    break
+            else:
+                expected += len(prefix)
+        assert counter.tests == expected
+
+    def test_empty_inputs(self, values):
+        counter = DominanceCounter()
+        assert prefix_filter(values, np.empty((0, 3)), counter).all()
+        empty = prefix_filter(np.empty((0, 3)), values[:4], counter)
+        assert empty.shape == (0,)
+        assert counter.tests == 0
+
+
+class TestBlockBounds:
+    @pytest.mark.parametrize("n", [1, 7, 100, 1001])
+    @pytest.mark.parametrize("workers", [1, 2, 5])
+    @pytest.mark.parametrize("growth", [1.0, 1.5, 3.0])
+    def test_covers_range_without_gaps(self, n, workers, growth):
+        bounds = block_bounds(n, workers, growth)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == n
+        for (_, hi), (lo, _) in zip(bounds[:-1], bounds[1:]):
+            assert hi == lo
+        assert all(hi > lo for lo, hi in bounds)
+
+    def test_even_split_matches_linspace(self):
+        bounds = block_bounds(100, 4, 1.0)
+        assert bounds == [(0, 25), (25, 50), (50, 75), (75, 100)]
+
+    def test_growth_makes_later_blocks_larger(self):
+        sizes = [hi - lo for lo, hi in block_bounds(10_000, 4, 1.5)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+
+    def test_empty_and_single(self):
+        assert block_bounds(0, 4) == []
+        assert block_bounds(50, 1) == [(0, 50)]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            block_bounds(10, 0)
+        with pytest.raises(InvalidParameterError):
+            block_bounds(10, 2, growth=0.0)

@@ -161,12 +161,17 @@ class TestAdaptiveBackendAndWorkers:
         stats = plan_for(generate("UI", n=2000, d=6, seed=4))
         assert stats.workers == 1
         big = PreparedDataset(generate("UI", n=2000, d=6, seed=4))
-        # Force the threshold without generating 200k rows.
+        # Force the thresholds without generating 200k rows: the adaptive
+        # choice is bounded both by the CPU count and the minimum rows a
+        # block must keep (n // _MIN_BLOCK_ROWS).
         from repro.engine import planner as planner_module
 
         monkeypatch.setattr(planner_module, "_PARALLEL_N", 1000)
+        monkeypatch.setattr(planner_module, "_MIN_BLOCK_ROWS", 500)
         plan = Planner().plan(big)
         assert plan.workers == 4
+        assert plan.parallel_strategy == "prefix"
+        assert plan.prefix_size > 0
         assert any("block-parallel" in reason for reason in plan.reasons)
 
     def test_explicit_workers_suppress_adaptive_choice(self, monkeypatch):

@@ -1,5 +1,7 @@
 """Unit tests for the multiprocessing parallel skyline."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -7,6 +9,7 @@ from repro.data import generate
 from repro.errors import InvalidParameterError
 from repro.extensions.parallel import (
     SkylineWorkerPool,
+    assemble_candidates,
     default_workers,
     parallel_skyline,
 )
@@ -86,12 +89,72 @@ class TestParallelSkyline:
         got = parallel_skyline(duplicate_heavy, workers=3)
         assert list(got) == brute_skyline_ids(duplicate_heavy.values)
 
-    def test_default_workers_bounds(self):
-        assert 1 <= default_workers() <= 8
+    def test_default_workers_is_cpu_count(self):
+        # The former hard cap of 8 is gone: the default follows the host,
+        # and the planner (not this function) bounds the effective count.
+        assert default_workers() == max(1, os.cpu_count() or 1)
 
     def test_workers_defaults_when_omitted(self, dataset):
         got = parallel_skyline(dataset)
         assert list(got) == brute_skyline_ids(dataset.values)
+
+    @pytest.mark.parametrize("partition", ["sorted", "even"])
+    @pytest.mark.parametrize("prefix_size", [0, 4, None])
+    def test_partition_and_prefix_matrix(self, dataset, partition, prefix_size):
+        got = parallel_skyline(
+            dataset,
+            workers=3,
+            algorithm="sfs-subset",
+            merge_algorithm="sfs-subset",
+            partition=partition,
+            prefix_size=prefix_size,
+        )
+        assert list(got) == brute_skyline_ids(dataset.values)
+
+    def test_block_growth_preserves_results(self, dataset):
+        got = parallel_skyline(dataset, workers=3, block_growth=2.0)
+        assert list(got) == brute_skyline_ids(dataset.values)
+
+    def test_invalid_partition_rejected(self, dataset):
+        with pytest.raises(InvalidParameterError):
+            parallel_skyline(dataset, workers=2, partition="striped")
+
+    def test_negative_prefix_size_rejected(self, dataset):
+        with pytest.raises(InvalidParameterError):
+            parallel_skyline(dataset, workers=2, prefix_size=-1)
+
+    def test_head_subdivision_preserves_results(self, dataset, monkeypatch):
+        # Force the large-n head split onto a small dataset: the head
+        # region shatters into per-worker sub-blocks and the seeded merge
+        # must still reproduce the serial skyline exactly.
+        import repro.extensions.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "_HEAD_SPLIT_MIN_N", 0)
+        monkeypatch.setattr(parallel_module, "_MIN_HEAD_SUB_ROWS", 25)
+        with SkylineWorkerPool(workers=3) as pool:
+            got = parallel_skyline(dataset, workers=3, pool=pool)
+            assert list(got) == brute_skyline_ids(dataset.values)
+            # 3 head sub-blocks + 2 tail blocks were dispatched, on a
+            # pool still capped at 3 processes.
+            assert pool.stats["tasks_dispatched"] == 5
+            assert pool.processes == 3
+
+
+class TestAssembleCandidates:
+    def test_sorted_intp_union(self):
+        parts = [
+            np.array([7, 3], dtype=np.intp),
+            np.array([], dtype=np.intp),
+            np.array([5, 1], dtype=np.int64),
+        ]
+        union = assemble_candidates(parts)
+        assert union.dtype == np.intp
+        assert union.tolist() == [1, 3, 5, 7]
+
+    def test_empty_parts(self):
+        union = assemble_candidates([])
+        assert union.dtype == np.intp
+        assert union.size == 0
 
 
 class TestWorkerPoolReuse:
@@ -137,3 +200,59 @@ class TestWorkerPoolReuse:
     def test_invalid_pool_size(self):
         with pytest.raises(InvalidParameterError):
             SkylineWorkerPool(workers=0)
+
+    def test_order_segment_created_once(self, dataset):
+        with SkylineWorkerPool(workers=2) as pool:
+            parallel_skyline(dataset, workers=2, pool=pool, partition="sorted")
+            parallel_skyline(dataset, workers=2, pool=pool, partition="sorted")
+            assert pool.stats["order_segments_created"] == 1
+            assert pool.stats["segments_created"] == 1
+
+    def test_even_partition_needs_no_order_segment(self, dataset):
+        with SkylineWorkerPool(workers=2) as pool:
+            parallel_skyline(
+                dataset, workers=2, pool=pool, partition="even", prefix_size=0
+            )
+            assert pool.stats["order_segments_created"] == 0
+
+
+class TestTracedSpans:
+    def test_prefix_span_visible_in_phase_aggregation(self, dataset):
+        from repro.engine import SkylineEngine
+        from repro.engine.context import ExecutionContext
+        from repro.obs import Tracer, aggregate_phases
+
+        engine = SkylineEngine(ExecutionContext(tracer=Tracer()))
+        result = engine.execute(
+            dataset, "sfs-subset", workers=2, parallel_strategy="prefix"
+        )
+        engine.close()
+        phases = {phase.name for phase in aggregate_phases(result.trace)}
+        assert {"parallel.prefix", "parallel.map", "parallel.merge"} <= phases
+
+
+class TestDominanceBudget:
+    def test_parallel_dt_within_budget_on_ui_50k(self):
+        """Regression: parallel charged DT stays <= 1.2x serial (UI 50k).
+
+        The PR 5 scheme recorded ~1.6x; the prefix exchange + sort-order
+        partitioning + seeded merge must keep the redundancy within the
+        bench's enforced budget on the bench's own configuration.
+        """
+        from repro.engine import SkylineEngine
+
+        dataset = generate("UI", n=50_000, d=6, seed=0)
+        serial = DominanceCounter()
+        engine = SkylineEngine()
+        serial_result = engine.execute(
+            dataset, "sdi-subset", counter=serial, index_backend="flat", workers=1
+        )
+        engine.close()
+        parallel = DominanceCounter()
+        engine = SkylineEngine()
+        parallel_result = engine.execute(
+            dataset, "sdi-subset", counter=parallel, index_backend="flat", workers=2
+        )
+        engine.close()
+        assert list(serial_result.indices) == list(parallel_result.indices)
+        assert parallel.tests <= 1.2 * serial.tests
