@@ -1,8 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install install-dev test test-fast bench experiments report examples \
-        lint typecheck analyze analyze-baseline clean
+.PHONY: install install-dev test test-fast bench bench-incremental \
+        experiments report examples lint typecheck analyze analyze-baseline \
+        clean
 
 install:
 	$(PYTHON) -m pip install -e ".[test]"
@@ -18,6 +19,12 @@ test-fast:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Canonical delta-repair gate: 1% mutation batch through apply_delta +
+# incremental plan vs invalidate-and-recompute, bit-identical skylines
+# and the >= 5x wall speedup enforced (non-zero exit on failure).
+bench-incremental:
+	$(PYTHON) benchmarks/bench_throughput.py --only incremental_repair --out BENCH_throughput.json
 
 experiments:
 	$(PYTHON) -m repro.bench all

@@ -202,6 +202,20 @@ class SortScanAlgorithm(SkylineAlgorithm, _ProgressiveMixin):
     def sort_ids(self, values: np.ndarray, ids: np.ndarray) -> np.ndarray:
         """Return ``ids`` reordered by the algorithm's monotone sort key."""
 
+    def sort_keyer(
+        self,
+    ) -> Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]] | None:
+        """Optional key decomposition of :meth:`sort_ids`.
+
+        When a host can express its order as ``ids[lexsort((ties, keys))]``
+        it may return a callable producing ``(keys, ties)`` aligned with
+        ``ids``; ``cached_sort_order`` then caches the key arrays alongside
+        the order, which is what makes the lazy delta repair possible —
+        after a mutation only the appended rows need fresh keys.  ``None``
+        (the default) keeps the opaque ``sort_ids`` path.
+        """
+        return None
+
     def run_phase(
         self,
         dataset: Dataset,
@@ -224,7 +238,9 @@ class SortScanAlgorithm(SkylineAlgorithm, _ProgressiveMixin):
         is read from it instead of re-sorting when present.
         """
         values = dataset.values
-        order = cached_sort_order(sort_cache, self.sort_ids, values, ids)
+        order = cached_sort_order(
+            sort_cache, self.sort_ids, values, ids, keyer=self.sort_keyer()
+        )
         masks_list = masks.tolist()
         skyline: list[int] = []
         for point_id in order.tolist():
@@ -247,6 +263,8 @@ def cached_sort_order(
     sorter: Callable[[np.ndarray, np.ndarray], np.ndarray],
     values: np.ndarray,
     ids: np.ndarray,
+    keyer: Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]
+    | None = None,
 ) -> np.ndarray:
     """Fetch the scan order from ``sort_cache`` or compute and store it.
 
@@ -254,15 +272,89 @@ def cached_sort_order(
     the mapping by ``(algorithm-configuration, dataset, ids)``, so inside
     this helper the lookup key is just ``"order"``.  ``None`` disables
     caching and always sorts.
+
+    ``keyer`` (see :meth:`SortScanAlgorithm.sort_keyer`) decomposes the
+    order into ``ids[lexsort((ties, keys))]``; the key arrays are cached
+    alongside the order.  When the owner tagged the entry with a
+    ``pending_delta`` (:meth:`PreparedDataset.apply_delta`), the cached
+    order is suffix-repaired here instead of recomputed: deleted ids drop
+    out, survivors remap, keys are computed only for the appended rows,
+    and one lexsort over the merged key arrays reproduces the cold order
+    bit for bit (the tag is only written when the dataset's minimum corner
+    — the keys' reference point — is unchanged).
     """
     if sort_cache is not None:
+        pending = sort_cache.pop("pending_delta", None)
         cached = sort_cache.get("order")
         if cached is not None:
-            return cached  # type: ignore[return-value]
+            if pending is None:
+                return cached  # type: ignore[return-value]
+            if keyer is not None and "keys" in sort_cache:
+                repaired = _repair_cached_order(
+                    sort_cache, pending, keyer, values, ids
+                )
+                if repaired is not None:
+                    return repaired
+            # Unrepairable (no key arrays, or the id set diverged from the
+            # logged delta): drop the stale state and sort cold.
+            sort_cache.pop("order", None)
+            sort_cache.pop("keys", None)
+            sort_cache.pop("ties", None)
     with current_tracer().span(
         "sort", points=int(ids.shape[0]), cache_attached=sort_cache is not None
     ):
-        order = sorter(values, ids)
+        if keyer is not None:
+            keys, ties = keyer(values, ids)
+            order = ids[np.lexsort((ties, keys))]
+        else:
+            keys = ties = None
+            order = sorter(values, ids)
     if sort_cache is not None:
         sort_cache["order"] = order
+        if keys is not None:
+            sort_cache["keys"] = keys
+            sort_cache["ties"] = ties
     return order
+
+
+def _repair_cached_order(
+    sort_cache: MutableMapping[str, object],
+    pending: object,
+    keyer: Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]],
+    values: np.ndarray,
+    ids: np.ndarray,
+) -> np.ndarray | None:
+    """Suffix-repair a keyed sort-cache entry; ``None`` falls back cold.
+
+    ``pending`` is the ``(deleted_old_ids, first_new_id)`` tag written by
+    ``PreparedDataset.apply_delta``.  The cached ``keys``/``ties`` arrays
+    are aligned with the ascending id set the order was computed over, so
+    the repair filters + remaps them, keys only the fresh tail ids, and
+    re-lexsorts — identical output to a cold sort because kept rows keep
+    their coordinates and the corner is unchanged.
+    """
+    deleted, first_new_id = pending  # type: ignore[misc]
+    order = sort_cache["order"]
+    keys = sort_cache["keys"]
+    ties = sort_cache["ties"]
+    old_ids = np.sort(order)  # type: ignore[arg-type]
+    if keys.shape[0] != old_ids.shape[0]:  # type: ignore[union-attr]
+        return None
+    kept = ~np.isin(old_ids, deleted)
+    remapped = old_ids[kept] - np.searchsorted(deleted, old_ids[kept])  # type: ignore[arg-type]
+    fresh = ids[ids >= first_new_id]
+    expected = np.concatenate([remapped, fresh])
+    if expected.shape[0] != ids.shape[0] or not np.array_equal(expected, ids):
+        return None
+    if fresh.size:
+        fresh_keys, fresh_ties = keyer(values, fresh)
+    else:
+        fresh_keys = np.empty(0, dtype=np.asarray(keys).dtype)
+        fresh_ties = np.empty(0, dtype=np.asarray(ties).dtype)
+    all_keys = np.concatenate([np.asarray(keys)[kept], fresh_keys])
+    all_ties = np.concatenate([np.asarray(ties)[kept], fresh_ties])
+    repaired = ids[np.lexsort((all_ties, all_keys))]
+    sort_cache["order"] = repaired
+    sort_cache["keys"] = all_keys
+    sort_cache["ties"] = all_ties
+    return repaired

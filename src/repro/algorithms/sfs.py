@@ -12,6 +12,8 @@ index via :class:`~repro.core.boost.SubsetBoost` to obtain SFS-Subset.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 import numpy as np
 
 from repro.algorithms.base import SortScanAlgorithm
@@ -37,10 +39,25 @@ class SFS(SortScanAlgorithm):
         sort_keys(np.zeros((1, 1)), sort_function)  # validate eagerly
 
     def sort_ids(self, values: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        keys, ties = self._key_arrays(values, ids)
+        return ids[np.lexsort((ties, keys))]
+
+    def sort_keyer(
+        self,
+    ) -> Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+        # The SFS order is a pure lexsort over per-row key arrays, so it is
+        # key-decomposable: cached_sort_order stores the arrays and can
+        # suffix-repair the order after a delta (keys recomputed only for
+        # appended rows).
+        return self._key_arrays
+
+    def _key_arrays(
+        self, values: np.ndarray, ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         # Keys are computed over only the active rows (the merge survivors
         # in a boosted scan) but shifted by the full dataset's minimum
         # corner, so the order is identical to a whole-dataset sort while
         # skipping the transcendental key math for every pruned point.
         subset = values[ids]
         keys = sort_keys(subset, self.sort_function, corner=values.min(axis=0))
-        return ids[np.lexsort((sum_tiebreak(subset), keys))]
+        return keys, sum_tiebreak(subset)

@@ -69,6 +69,7 @@ class ExecutionContext:
         self.counter = DominanceCounter()
         self.tracer = tracer
         self.runs_recorded = 0
+        self.deltas_recorded = 0
         self._max_prepared = max_prepared
         self._workers = workers
         self._prepared: dict[int, PreparedDataset] = {}
@@ -98,6 +99,31 @@ class ExecutionContext:
         self._prepared[key] = prepared
         return prepared
 
+    def rebind(self, prepared: PreparedDataset) -> None:
+        """Register ``prepared`` under its post-mutation value array.
+
+        The registry is keyed by value-array identity; after
+        :meth:`PreparedDataset.apply_delta` the mutated object wraps a new
+        array the registry has never seen.  Rebinding registers the new
+        key *and keeps the old keys as aliases* to the same object: a
+        caller still holding the pre-delta ``Dataset`` handle addresses
+        the logical dataset it mutated, not a stale snapshot — executing
+        with it must find the repaired caches, not silently re-prepare
+        the old array.
+        """
+        key = id(prepared.dataset.values)
+        if self._prepared.get(key) is prepared:
+            return
+        while len(self._prepared) >= self._max_prepared:
+            evict = next(
+                (k for k, v in self._prepared.items() if v is not prepared),
+                None,
+            )
+            if evict is None:
+                break
+            del self._prepared[evict]
+        self._prepared[key] = prepared
+
     @property
     def prepared_count(self) -> int:
         """Number of datasets currently held prepared."""
@@ -113,6 +139,11 @@ class ExecutionContext:
         """Absorb one run's tallies into the session aggregate."""
         self.counter.absorb(counter)
         self.runs_recorded += 1
+
+    def record_delta(self, counter: DominanceCounter) -> None:
+        """Absorb one mutation's tallies; counted apart from query runs."""
+        self.counter.absorb(counter)
+        self.deltas_recorded += 1
 
     # -- worker pool --------------------------------------------------------
 

@@ -1,0 +1,272 @@
+"""Delta-repair primitives behind :meth:`PreparedDataset.apply_delta`.
+
+The paper's Section 7 names "adapting the proposed method to updating
+data" as its open direction; this module supplies the pieces that make a
+mutation a *repairable* event instead of a cache-destroying one:
+
+- :func:`normalize_delta` — validate and canonicalise an insert block and
+  a delete id set against the current dataset shape;
+- :func:`remap_ids` — translate pre-delta row ids into post-delta ids
+  (deleted rows close ranks; appended inserts take the tail ids);
+- :func:`repair_merge_result` — suffix-repair a cached
+  :class:`~repro.core.merge.MergeResult`: the pivot set is kept fixed, so
+  Lemma 4.3/5.1 mask semantics survive, deleted points drop out of the
+  remaining/duplicate sets and each insert is classified against every
+  pivot (one dominance test per pair, charged normally).  Returns ``None``
+  when the entry cannot be repaired (a pivot was deleted, or an insert
+  dominates a pivot) — the caller drops it and the next query re-merges.
+
+A repaired ``MergeResult`` computes the **same skyline** as a cold Merge
+over the mutated dataset, but is not bit-identical to one: pivot selection
+depends on global minima, so a cold run may pick different pivots and
+charge a different test count.  The engine's equivalence contract is
+scoped to cold contexts, and the bench gate asserts identical skyline ids,
+not identical pivots.
+
+:class:`DeltaReport` is what ``apply_delta`` returns (what happened, to
+which caches); :class:`DeltaState` is what the planner reads (how much is
+pending, whether a noted skyline covers it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.merge import MergeResult
+from repro.dominance import dominating_subspaces
+from repro.errors import DimensionMismatchError, InvalidParameterError
+from repro.stats.counters import DominanceCounter
+from repro.structures import bitset
+
+__all__ = [
+    "DeltaReport",
+    "DeltaState",
+    "absorb_since",
+    "normalize_delta",
+    "remap_ids",
+    "repair_merge_result",
+]
+
+
+@dataclass(frozen=True)
+class DeltaReport:
+    """Outcome of one :meth:`PreparedDataset.apply_delta` call.
+
+    Attributes
+    ----------
+    mode:
+        ``"repair"`` (caches suffix-repaired, delta logged), ``"recompute"``
+        (full invalidate — delta too large or forced) or ``"noop"``.
+    inserted, deleted:
+        Row counts of the applied delta.
+    fraction:
+        ``(inserted + deleted) / n_before`` — the repair-threshold input.
+    version:
+        The prepared dataset's version after the call.
+    merge_repaired, merge_dropped:
+        Cached Merge results suffix-repaired vs dropped as unrepairable.
+    views_repaired, views_dropped:
+        Cached subspace views delta-repaired recursively vs dropped
+        (direction-flipped views depend on column maxima and are dropped).
+    sort_tagged, sort_dropped:
+        Sort caches tagged for lazy suffix repair at the next scan vs
+        dropped (entries without key arrays, or a min-corner change).
+    """
+
+    mode: str
+    inserted: int
+    deleted: int
+    fraction: float
+    version: int
+    merge_repaired: int = 0
+    merge_dropped: int = 0
+    views_repaired: int = 0
+    views_dropped: int = 0
+    sort_tagged: int = 0
+    sort_dropped: int = 0
+
+
+@dataclass(frozen=True)
+class DeltaState:
+    """The planner's view of a prepared dataset's pending mutations.
+
+    Attributes
+    ----------
+    pending_ops:
+        Total inserted + deleted rows logged since the last noted skyline.
+    batches:
+        Number of ``apply_delta`` calls those operations arrived in.
+    fraction:
+        ``pending_ops`` over the current cardinality.
+    covered:
+        True when a noted full skyline exists to repair from (always true
+        for states surfaced by ``delta_state`` — kept explicit for the
+        planner's cost-model signals).
+    stream_ready:
+        True when the replay stream is already bootstrapped, so repair
+        skips the O(n·anchors) warm start.
+    """
+
+    pending_ops: int
+    batches: int
+    fraction: float
+    covered: bool
+    stream_ready: bool
+
+
+def normalize_delta(
+    values: np.ndarray,
+    inserts: "np.ndarray | list[list[float]] | None",
+    deletes: "np.ndarray | list[int] | None",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a delta against ``values``; return ``(ins_block, del_ids)``.
+
+    ``ins_block`` is a ``(k, d)`` float64 block (possibly ``k == 0``);
+    ``del_ids`` is a sorted, duplicate-free ``intp`` array of in-range row
+    ids of the *current* dataset.
+    """
+    n, d = values.shape
+    if inserts is None:
+        ins = np.empty((0, d), dtype=np.float64)
+    else:
+        ins = np.asarray(inserts, dtype=np.float64)
+        if ins.ndim == 1 and ins.shape[0] == d:
+            ins = ins[None, :]
+        if ins.ndim != 2 or ins.shape[1] != d:
+            raise DimensionMismatchError(
+                f"inserts must be a (k, {d}) block, got shape {ins.shape}"
+            )
+        if not np.isfinite(ins).all():
+            raise InvalidParameterError("inserts contain NaN or infinite values")
+    if deletes is None:
+        dels = np.empty(0, dtype=np.intp)
+    else:
+        dels = np.asarray(deletes, dtype=np.intp).ravel()
+        if dels.size:
+            unique = np.unique(dels)
+            if unique.size != dels.size:
+                raise InvalidParameterError("deletes contain duplicate row ids")
+            if unique[0] < 0 or unique[-1] >= n:
+                raise InvalidParameterError(
+                    f"deletes out of range for cardinality {n}: "
+                    f"[{int(unique[0])}, {int(unique[-1])}]"
+                )
+            dels = unique
+    return ins, dels
+
+
+def remap_ids(ids: np.ndarray, deletes: np.ndarray) -> np.ndarray:
+    """Translate pre-delta row ids to post-delta ids (none may be deleted)."""
+    if deletes.size == 0:
+        return ids
+    return ids - np.searchsorted(deletes, ids)
+
+
+def repair_merge_result(
+    result: MergeResult,
+    old_values: np.ndarray,
+    inserts: np.ndarray,
+    deletes: np.ndarray,
+    counter: DominanceCounter,
+) -> MergeResult | None:
+    """Suffix-repair one cached Merge result, or ``None`` if unrepairable.
+
+    Keeps the pivot set fixed: every surviving mask stays a union of
+    dominating subspaces against the same anchors, so the boosted scan's
+    Lemma 5.1 superset queries remain sound.  Each insert is classified
+    against every pivot exactly as the Merge loop would classify a point
+    that outlived every extraction — one charged test per (insert, pivot)
+    pair — and joins ``remaining_ids`` with the unioned mask, the
+    duplicate set (coordinate-equal to a pivot) or the pruned set.
+    """
+    pivots = np.asarray(result.pivot_ids, dtype=np.intp)
+    if deletes.size and bool(np.isin(pivots, deletes).any()):
+        return None  # a pivot left the dataset; pruning evidence is gone
+    k = int(inserts.shape[0])
+    survivors = np.ones(k, dtype=bool)
+    duplicate_inserts = np.zeros(k, dtype=bool)
+    insert_masks = np.zeros(k, dtype=np.int64)
+    for pivot_id in pivots.tolist():
+        pivot_row = old_values[pivot_id]
+        if k == 0:
+            continue
+        subs = dominating_subspaces(inserts, pivot_row, counter)
+        weakly_below = np.all(inserts <= pivot_row, axis=1)
+        if bool((weakly_below & (subs != 0)).any()):
+            return None  # an insert dominates this pivot
+        equal = np.all(inserts == pivot_row, axis=1)
+        duplicate_inserts |= equal
+        survivors &= ~((subs == 0) | equal)
+        insert_masks = bitset.union(insert_masks, subs)
+
+    keep = (
+        ~np.isin(result.remaining_ids, deletes)
+        if deletes.size
+        else np.ones(result.remaining_ids.shape[0], dtype=bool)
+    )
+    base = old_values.shape[0] - int(deletes.size)
+    new_ids = base + np.flatnonzero(survivors)
+    remaining = np.concatenate(
+        [remap_ids(result.remaining_ids[keep], deletes), new_ids]
+    ).astype(np.intp)
+    masks = np.concatenate([result.masks[keep], insert_masks[survivors]]).astype(
+        np.int64
+    )
+    delete_set = set(deletes.tolist())
+    kept_duplicates = np.asarray(
+        [i for i in result.duplicate_skyline_ids if i not in delete_set],
+        dtype=np.intp,
+    )
+    duplicates = [
+        *(int(i) for i in remap_ids(kept_duplicates, deletes)),
+        *(int(base + i) for i in np.flatnonzero(duplicate_inserts)),
+    ]
+    metadata = dict(result.metadata)
+    metadata["delta_repaired"] = True
+    metadata["cardinality"] = base + k
+    return MergeResult(
+        pivot_ids=[int(i) for i in remap_ids(pivots, deletes)],
+        duplicate_skyline_ids=duplicates,
+        remaining_ids=remaining,
+        masks=masks,
+        iterations=result.iterations,
+        final_stability=result.final_stability,
+        exhausted=remaining.size == 0,
+        metadata=metadata,
+    )
+
+
+def absorb_since(
+    target: DominanceCounter,
+    current: DominanceCounter,
+    since: DominanceCounter,
+) -> None:
+    """Fold ``current - since`` into ``target`` (replay-stream accounting).
+
+    The replay stream owns a lifetime counter; each repair charges only the
+    tallies accrued during that repair onto the caller's counter.
+    """
+    target.tests += current.tests - since.tests
+    target.index_queries += current.index_queries - since.index_queries
+    target.index_nodes_visited += (
+        current.index_nodes_visited - since.index_nodes_visited
+    )
+    target.index_cache_hits += current.index_cache_hits - since.index_cache_hits
+    target.index_cache_misses += (
+        current.index_cache_misses - since.index_cache_misses
+    )
+    target.index_cache_invalidations += (
+        current.index_cache_invalidations - since.index_cache_invalidations
+    )
+    target.prepared_cache_hits += (
+        current.prepared_cache_hits - since.prepared_cache_hits
+    )
+    target.prepared_cache_misses += (
+        current.prepared_cache_misses - since.prepared_cache_misses
+    )
+    for key, value in current.extras.items():
+        delta = value - since.extras.get(key, 0.0)
+        if delta:
+            target.extras[key] = target.extras.get(key, 0.0) + delta

@@ -28,6 +28,7 @@ from repro.algorithms.registry import get_algorithm
 from repro.core.boost import BoostableHost, run_boosted_scan, run_unboosted_scan
 from repro.dataset import Dataset, as_dataset
 from repro.engine.context import ExecutionContext
+from repro.engine.delta import DeltaReport
 from repro.engine.plan import Plan
 from repro.engine.planner import Planner
 from repro.engine.prepared import PreparedDataset
@@ -95,6 +96,7 @@ class SkylineEngine:
         index_backend: str | None = None,
         workers: int | None = None,
         parallel_strategy: str | None = None,
+        incremental: bool | None = None,
         host_options: Mapping[str, object] | None = None,
     ) -> SkylineResult:
         """Plan (unless ``plan`` is given) and execute one skyline query.
@@ -105,10 +107,14 @@ class SkylineEngine:
         plans keep the direct-call wiring (map index, sequential), adaptive
         plans choose from the dataset statistics.  ``parallel_strategy``
         pins the block-parallel mode for ``workers > 1`` (``"prefix"`` is
-        the prune-aware default, ``"even"`` the legacy split).  The
-        returned result's ``counter`` is the per-run counter (the caller's,
-        if provided) and ``result.plan`` is the executed plan; the run is
-        also absorbed into ``context.counter``.
+        the prune-aware default, ``"even"`` the legacy split).
+        ``incremental`` steers delta repair after :meth:`apply_delta`:
+        ``None`` lets the cost model decide, ``True``/``False`` force
+        repair/recompute (repair requires an adaptive plan).  The returned
+        result's ``counter`` is the per-run counter (the caller's, if
+        provided) and ``result.plan`` is the executed plan; the run is
+        also absorbed into ``context.counter``.  Every full execution
+        notes its skyline on the prepared dataset as the next repair base.
         """
         tracer = self.context.tracer
         run_counter = self.context.run_counter(counter)
@@ -127,6 +133,7 @@ class SkylineEngine:
                         index_backend=index_backend,
                         workers=workers,
                         parallel_strategy=parallel_strategy,
+                        incremental=incremental,
                         host_options=host_options,
                         counter=run_counter,
                     )
@@ -148,9 +155,41 @@ class SkylineEngine:
                     return self._run_plan(prepared, executed, dataset, body_counter)
 
             result = run_timed(executed.label, prepared.dataset, run_counter, body)
+            # Every execution ends with the current full skyline in hand;
+            # noting it gives the next apply_delta a repair base.  After an
+            # incremental run this matches the rebased stream state, so the
+            # note is a no-op that keeps the replay stream warm.
+            prepared.note_skyline(result.indices)
         result = replace(result, plan=executed, trace=tracer.drain())
         self.context.record(run_counter)
         return result
+
+    def apply_delta(
+        self,
+        data: Dataset | PreparedDataset | np.ndarray,
+        inserts: "np.ndarray | list[list[float]] | None" = None,
+        deletes: "np.ndarray | list[int] | None" = None,
+        counter: DominanceCounter | None = None,
+        *,
+        mode: str | None = None,
+    ) -> "DeltaReport":
+        """Mutate ``data``'s prepared form through the engine.
+
+        Delegates to :meth:`PreparedDataset.apply_delta` and re-keys the
+        context's prepared registry to the mutated value array, so the next
+        ``execute(prepared.dataset)`` — or ``execute`` with the prepared
+        object itself — finds the repaired caches instead of preparing the
+        stale pre-delta array from scratch.
+        """
+        run_counter = self.context.run_counter(counter)
+        with self.context.tracer.activate():
+            prepared = self.prepare(data)
+            report = prepared.apply_delta(
+                inserts, deletes, counter=run_counter, mode=mode
+            )
+        self.context.rebind(prepared)
+        self.context.record_delta(run_counter)
+        return report
 
     # -- plan execution -----------------------------------------------------
 
@@ -161,6 +200,16 @@ class SkylineEngine:
         dataset: Dataset,
         counter: DominanceCounter,
     ) -> list[int]:
+        if plan.incremental:
+            with self.context.tracer.span(
+                "engine.repair",
+                counter=counter,
+                pending=plan.pending_mutations,
+                backend=plan.index_backend,
+            ):
+                return prepared.repair_skyline(
+                    counter, index_backend=plan.index_backend
+                )
         if plan.workers > 1:
             # Block-parallel path: lazy import keeps engine -> extensions
             # off the module import graph (extensions import the engine).

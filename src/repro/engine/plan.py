@@ -58,6 +58,20 @@ class Plan:
         ``True`` when the planner chose the algorithm from dataset
         statistics; ``False`` when the caller pinned it (the mode with
         dominance-test parity guarantees versus direct calls).
+    incremental:
+        ``True`` when execution repairs the previously noted skyline from
+        the prepared dataset's pending delta log instead of scanning; the
+        host/boost knobs above are inert for such plans.
+    pending_mutations:
+        Rows inserted plus deleted since the last noted full skyline (set
+        whenever a pending delta informed the decision, even on full
+        plans).
+    delta_fraction:
+        ``pending_mutations`` over the current cardinality.
+    repair_cost, recompute_cost:
+        The cost model's dominance-test estimates for replaying the delta
+        log versus recomputing from scratch — the inputs behind the
+        repair-vs-recompute decision shown by :meth:`explain`.
     host_options:
         Constructor keyword arguments for the host, as sorted pairs.
     signals:
@@ -78,6 +92,11 @@ class Plan:
     prefix_size: int = 0
     block_growth: float = 1.0
     adaptive: bool = False
+    incremental: bool = False
+    pending_mutations: int = 0
+    delta_fraction: float = 0.0
+    repair_cost: float = 0.0
+    recompute_cost: float = 0.0
     host_options: tuple[tuple[str, object], ...] = ()
     signals: tuple[tuple[str, float], ...] = field(default=(), compare=True)
     reasons: tuple[str, ...] = ()
@@ -113,6 +132,20 @@ class Plan:
         """A multi-line, ``EXPLAIN``-style description of the plan."""
         mode = "adaptive" if self.adaptive else "pinned"
         lines = [f"Plan: {self.label}  [{mode}]"]
+        if self.incremental:
+            lines.append(
+                "  execution: incremental delta-repair "
+                f"(index={self.index_backend})"
+            )
+            self._explain_delta(lines)
+            if self.signals:
+                rendered = ", ".join(
+                    f"{name}={value:g}" for name, value in self.signals
+                )
+                lines.append(f"  signals: {rendered}")
+            for reason in self.reasons:
+                lines.append(f"  - {reason}")
+            return "\n".join(lines)
         if self.boosted:
             lines.append(
                 f"  boost: merge(σ={self.sigma}, pivots={self.pivot_strategy})"
@@ -138,9 +171,23 @@ class Plan:
             lines.append(f"  execution: parallel x{self.workers} [{detail}]")
         else:
             lines.append("  execution: sequential")
+        if self.pending_mutations:
+            self._explain_delta(lines)
         if self.signals:
             rendered = ", ".join(f"{name}={value:g}" for name, value in self.signals)
             lines.append(f"  signals: {rendered}")
         for reason in self.reasons:
             lines.append(f"  - {reason}")
         return "\n".join(lines)
+
+    def _explain_delta(self, lines: list[str]) -> None:
+        """Append the repair-vs-recompute decision and its cost inputs."""
+        lines.append(
+            f"  delta: {self.pending_mutations} pending ops "
+            f"({self.delta_fraction:.2%} of n)"
+        )
+        chosen = "delta repair" if self.incremental else "full recompute"
+        lines.append(
+            f"  repair-vs-recompute: est {self.repair_cost:g} vs "
+            f"{self.recompute_cost:g} tests -> {chosen}"
+        )

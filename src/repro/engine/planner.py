@@ -88,6 +88,14 @@ _MIN_PREFIX, _MAX_PREFIX = 8, 32
 _PINNED_PREFIX = 16
 _PINNED_GROWTH = 1.5
 
+#: Estimated dominance tests the replay stream charges per pending delta
+#: operation: an insert probes the anchor masks (8 tests) plus the current
+#: skyline's demotion sweep; a delete's exposure filter touches the buffer.
+#: 64 over-estimates small skylines and under-estimates huge ones, but the
+#: decision only has to be right about the *order of magnitude* against a
+#: full ``n * d``-shaped recompute.
+_REPAIR_OP_COST = 64.0
+
 
 class Planner:
     """Chooses algorithm, container and execution mode for one query.
@@ -127,6 +135,7 @@ class Planner:
         index_backend: str | None = None,
         workers: int | None = None,
         parallel_strategy: str | None = None,
+        incremental: bool | None = None,
         host_options: Mapping[str, object] | None = None,
         counter: DominanceCounter | None = None,
     ) -> Plan:
@@ -143,7 +152,20 @@ class Planner:
         stay sequential).  ``parallel_strategy`` pins how a parallel plan
         partitions and prunes (``"prefix"``/``"even"``); ``None`` selects
         the prune-aware prefix exchange whenever ``workers > 1``.
+
+        ``incremental`` controls delta repair when the prepared dataset has
+        pending mutations logged by :meth:`PreparedDataset.apply_delta`:
+        ``None`` lets the cost model choose between replaying the delta log
+        and a full recompute, ``True`` forces repair (an error when no
+        repairable state exists or the algorithm is pinned — pinned mode is
+        the bit-for-bit parity contract and never repairs), ``False``
+        forces a full plan.
         """
+        if incremental and algorithm is not None:
+            raise InvalidParameterError(
+                "incremental=True conflicts with a pinned algorithm: pinned "
+                "plans guarantee direct-call parity and never delta-repair"
+            )
         if workers is not None and workers < 1:
             raise InvalidParameterError(f"workers must be >= 1, got {workers}")
         if container not in ("subset", "list"):
@@ -182,6 +204,7 @@ class Planner:
             index_backend=index_backend,
             workers=workers,
             parallel_strategy=parallel_strategy,
+            incremental=incremental,
             host_options=options,
             counter=counter,
         )
@@ -285,6 +308,7 @@ class Planner:
         index_backend: str | None,
         workers: int | None,
         parallel_strategy: str | None,
+        incremental: bool | None,
         host_options: tuple[tuple[str, object], ...],
         counter: DominanceCounter | None,
     ) -> Plan:
@@ -296,6 +320,13 @@ class Planner:
             ("expected_skyline", stats.expected_skyline),
         )
         reasons: list[str] = []
+
+        delta = self._consider_incremental(
+            prepared, stats, incremental, index_backend, signals, reasons
+        )
+        if isinstance(delta, Plan):
+            return delta
+        pending, fraction, repair_cost, recompute_cost = delta
 
         host, boosted = self._select_host(stats, reasons)
         resolved_sigma: int | None = None
@@ -322,7 +353,89 @@ class Planner:
             prefix_size=prefix_size,
             block_growth=growth,
             adaptive=True,
+            pending_mutations=pending,
+            delta_fraction=fraction,
+            repair_cost=repair_cost,
+            recompute_cost=recompute_cost,
             host_options=host_options,
+            signals=signals,
+            reasons=tuple(reasons),
+        )
+
+    def _consider_incremental(
+        self,
+        prepared: PreparedDataset,
+        stats: DatasetStatistics,
+        incremental: bool | None,
+        index_backend: str | None,
+        signals: tuple[tuple[str, float], ...],
+        reasons: list[str],
+    ) -> "Plan | tuple[int, float, float, float]":
+        """Decide repair vs recompute for a pending delta.
+
+        Returns the incremental :class:`Plan` when repair wins (or is
+        forced), else the ``(pending, fraction, repair_cost,
+        recompute_cost)`` tuple the full plan carries so ``explain`` can
+        show why repair lost.  A clean dataset yields all zeros.
+        """
+        state = prepared.delta_state()
+        if state is None:
+            if incremental:
+                raise InvalidParameterError(
+                    "incremental=True but the prepared dataset has no "
+                    "pending delta covered by a noted skyline; run a full "
+                    "query, then apply_delta, then replan"
+                )
+            return (0, 0.0, 0.0, 0.0)
+        n = stats.cardinality
+        d = stats.dimensionality
+        # Replay charges ~_REPAIR_OP_COST tests per logged op; a cold
+        # stream additionally pays the O(n * anchors) bootstrap mask pass.
+        # Recompute must re-scan everything: n * d is the scale of the
+        # Merge pass plus the boosted scan's residual tests.
+        repair_cost = state.pending_ops * _REPAIR_OP_COST + (
+            0.0 if state.stream_ready else float(n)
+        )
+        recompute_cost = float(n) * float(d)
+        if incremental is False:
+            reasons.append(
+                f"incremental=False pinned by caller: recomputing despite "
+                f"{state.pending_ops} pending ops"
+            )
+            return (state.pending_ops, state.fraction, repair_cost, recompute_cost)
+        if incremental is None and repair_cost >= recompute_cost:
+            reasons.append(
+                f"delta repair loses the cost model (est {repair_cost:g} "
+                f">= {recompute_cost:g} tests): full recompute"
+            )
+            return (state.pending_ops, state.fraction, repair_cost, recompute_cost)
+        if incremental:
+            reasons.append("incremental repair pinned by caller")
+        else:
+            reasons.append(
+                f"{state.pending_ops} pending ops over {state.batches} "
+                f"batch(es): delta repair wins the cost model "
+                f"(est {repair_cost:g} < {recompute_cost:g} tests)"
+            )
+        reasons.append(
+            "replay stream "
+            + ("is warm" if state.stream_ready else "bootstraps from the noted skyline")
+        )
+        backend = index_backend
+        if backend is None:
+            backend = "flat" if (n >= _FLAT_N or d >= _FLAT_D) else "map"
+        return Plan(
+            algorithm="incremental-repair",
+            boosted=False,
+            sigma=None,
+            index_backend=backend,
+            workers=1,
+            adaptive=True,
+            incremental=True,
+            pending_mutations=state.pending_ops,
+            delta_fraction=state.fraction,
+            repair_cost=repair_cost,
+            recompute_cost=recompute_cost,
             signals=signals,
             reasons=tuple(reasons),
         )

@@ -7,26 +7,48 @@ generalises the idea with one observation: the superset property of
 Lemma 4.3 (``q1 < q2 ⇒ D_{q1<A} ⊇ D_{q2<A}``) holds for **any** fixed set of
 anchor points ``A``, whether or not they are (or remain) skyline points.
 
-The structure therefore freezes the first ``anchors`` observed points as
-pure geometric anchors, computes every point's subspace mask against them,
-and keeps:
+The structure freezes the first ``anchors`` observed points as pure
+geometric anchors, computes every point's subspace mask against them, and
+keeps the current skyline in a
+:class:`~repro.core.container.SubsetContainer` (id-only,
+backend-switchable) keyed by those masks — candidate dominators for any
+probe are retrieved with one subset query.
 
-- the current skyline in a :class:`~repro.core.container.SubsetContainer`
-  (id-only, backend-switchable)
-  keyed by those masks — candidate dominators for any probe are retrieved
-  with one subset query;
-- every dominated live point in a buffer, so deletions of skyline points
-  can promote newly exposed points.
+Storage is columnar: one amortised-doubling ``(capacity, d)`` row matrix
+where the stream id *is* the row index, plus parallel liveness /
+skyline-membership / mask arrays.  Stream ids are never reused, so the
+matrix only ever grows; deleted rows cost their slot but nothing else.
+Sweeps operate on the columnar prefix directly — demotion after an insert
+is one vectorised comparison against the gathered skyline block, and the
+promotion filter after a delete is one vectorised comparison against the
+gathered buffer block — with the same dominance-test accounting the
+per-point loops would charge.
+
+Sliding windows: constructing with ``window=k`` evicts the oldest live
+point (full delete semantics, promotions included) whenever an insert
+pushes the live count above ``k``.  Eviction walks a monotone cursor over
+the id space, so finding the oldest live point is amortised O(1).
+
+Every buffered point carries a *witness*: the id of one live point known to
+dominate it, recorded when the point is first dominated (insert probe,
+demotion, or bulk elimination) and refreshed whenever its witness dies.
+Deletes therefore never rescan the buffer — only points whose witness is
+among the deleted ids can possibly join the skyline, and exactly those are
+re-probed against the surviving skyline (new witness or promotion).  The
+witness invariant — every buffered point's witness is live and dominates
+it — makes the candidate scan pure bookkeeping: no dominance test is
+charged for points whose proof of domination still stands.
 
 Costs: ``insert`` is a subset query plus one vectorised demotion sweep over
-the skyline; ``delete`` of a skyline point re-probes each buffered point
-against the index in ascending coordinate-sum order (promotions first, so
-a promoted point immediately shields the points it dominates).
+the skyline; ``delete``/``delete_many`` re-probe only the witness-orphaned
+buffered points, in ascending coordinate-sum order (promotions first, so a
+promoted point immediately shields the points it dominates), charging one
+dominance test per inspected pair.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -35,11 +57,25 @@ from repro.core.container import SubsetContainer
 from repro.dominance import first_dominator
 from repro.errors import DimensionMismatchError, InvalidParameterError
 from repro.stats.counters import DominanceCounter
-from repro.structures import bitset
 
 if TYPE_CHECKING:
     from repro.dataset import Dataset
     from repro.engine import SkylineEngine
+
+#: Initial row-matrix capacity; doubles whenever the stream outgrows it.
+_MIN_CAPACITY = 64
+
+#: Dominator rows compared per vectorised elimination round of the batched
+#: promotion sweep.  Dominator blocks are sorted by ascending coordinate
+#: sum, so almost every exposed candidate meets a dominator in the first
+#: chunk — small chunks keep the charged tests close to what a short-
+#: circuiting per-candidate probe would charge while staying vectorised.
+_PROMOTION_CHUNK = 64
+
+#: First-chunk row count of the chunk-gathered dominance probe
+#: (:meth:`StreamingSkyline._find_dominator`); grows geometrically, same
+#: accounting as a sequential early-exit scan of the full candidate set.
+_PROBE_CHUNK = 256
 
 
 class StreamingSkyline:
@@ -57,7 +93,11 @@ class StreamingSkyline:
         Subset-index backend (``"map"``/``"flat"``), forwarded to
         :class:`~repro.core.container.SubsetContainer`.  Streaming keeps
         no value matrix up front, so the container runs id-only: queries
-        return ids and the stream gathers rows from its own point store.
+        return ids and the stream gathers rows from its columnar store.
+    window:
+        Optional sliding-window size: after every insert, the oldest live
+        points are evicted (with full delete/promotion semantics) until at
+        most ``window`` points remain live.  ``None`` keeps everything.
 
     >>> sky = StreamingSkyline(d=2)
     >>> a = sky.insert([1.0, 4.0]); b = sky.insert([2.0, 2.0])
@@ -75,26 +115,41 @@ class StreamingSkyline:
         anchors: int = 8,
         counter: DominanceCounter | None = None,
         backend: str = "map",
+        window: int | None = None,
     ) -> None:
         if d < 1:
             raise InvalidParameterError(f"dimensionality must be >= 1, got {d}")
         if anchors < 1:
             raise InvalidParameterError(f"anchors must be >= 1, got {anchors}")
+        if window is not None and window < 1:
+            raise InvalidParameterError(f"window must be >= 1, got {window}")
         self._d = d
         self._max_anchors = anchors
-        self._anchor_rows: list[np.ndarray] = []
+        self._window = window
         self._counter = counter if counter is not None else DominanceCounter()
-        # Id-only container: streaming gathers rows from its own point
+        # Id-only container: streaming gathers rows from its own columnar
         # store, but index construction stays on the sanctioned backend
         # switch so map/flat selection is a one-argument choice.
         self._store = SubsetContainer(
             None, d, counter=self._counter, backend=backend
         )
-        self._points: dict[int, np.ndarray] = {}
-        self._masks: dict[int, int] = {}
-        self._sky: set[int] = set()
-        self._buffer: set[int] = set()
+        self._anchor_block = np.empty((anchors, d), dtype=np.float64)
+        self._n_anchors = 0
+        self._powers = np.int64(1) << np.arange(d, dtype=np.int64)
+        # Columnar state: the stream id is the row index into `_rows`; the
+        # boolean prefixes `[:_next_id]` encode liveness and skyline
+        # membership (buffer = live & ~in_sky).  Ids are never reused.
+        self._rows = np.empty((_MIN_CAPACITY, d), dtype=np.float64)
+        self._live = np.zeros(_MIN_CAPACITY, dtype=bool)
+        self._in_sky = np.zeros(_MIN_CAPACITY, dtype=bool)
+        self._mask_arr = np.zeros(_MIN_CAPACITY, dtype=np.int64)
+        # Witness column: for each buffered point, the id of one live
+        # point that dominates it (-1 for skyline members).  Deletes only
+        # re-probe points whose witness died.
+        self._witness = np.full(_MIN_CAPACITY, -1, dtype=np.intp)
         self._next_id = 0
+        self._live_count = 0
+        self._oldest = 0  # monotone eviction cursor for window mode
 
     @classmethod
     def from_dataset(
@@ -105,6 +160,8 @@ class StreamingSkyline:
         engine: "SkylineEngine | None" = None,
         algorithm: str | None = None,
         backend: str = "map",
+        window: int | None = None,
+        skyline_ids: "Sequence[int] | np.ndarray | None" = None,
     ) -> "StreamingSkyline":
         """Bulk-load a dataset as the stream's prefix, batch-computed.
 
@@ -117,42 +174,72 @@ class StreamingSkyline:
 
         ``algorithm`` pins the batch algorithm (``None`` = planner's
         choice); ``engine`` shares prepared caches with other engine users.
+        ``skyline_ids`` short-circuits the engine run when the caller
+        already holds the dataset's skyline (the delta-repair warm start of
+        :meth:`repro.engine.prepared.PreparedDataset.repair_skyline`): the
+        ids are trusted, no dominance tests are charged for them.
+        ``window`` must admit the whole prefix — a bulk load that would
+        immediately evict rows has no sequential-insert equivalent.
         """
         from repro.dataset import as_dataset
-        from repro.engine import SkylineEngine
 
         dataset = as_dataset(data)
+        n = dataset.cardinality
+        if window is not None and n > window:
+            raise InvalidParameterError(
+                f"bulk prefix of {n} rows does not fit window={window}"
+            )
         stream = cls(
-            dataset.dimensionality, anchors=anchors, counter=counter, backend=backend
+            dataset.dimensionality,
+            anchors=anchors,
+            counter=counter,
+            backend=backend,
+            window=window,
         )
         values = dataset.values
-        n = dataset.cardinality
-        stream._anchor_rows = [values[i].copy() for i in range(min(anchors, n))]
-        anchor_block = np.stack(stream._anchor_rows)
+        stream._grow_to(n)
+        stream._rows[:n] = values
+        stream._live[:n] = True
+        stream._next_id = n
+        stream._live_count = n
+        stream._n_anchors = min(anchors, n)
+        stream._anchor_block[: stream._n_anchors] = values[: stream._n_anchors]
+        anchor_block = stream._anchor_block[: stream._n_anchors]
 
         # Vectorised _mask_of over all rows: one dominating-subspace
         # evaluation per (row, anchor) pair, charged as the sequential
         # loader's final mask computation would be.
         stream._counter.add(n * anchor_block.shape[0])
         beats_some_anchor = (values[:, None, :] < anchor_block[None, :, :]).any(axis=1)
-        mask_values = beats_some_anchor @ (
-            np.int64(1) << np.arange(dataset.dimensionality, dtype=np.int64)
-        )
+        stream._mask_arr[:n] = beats_some_anchor @ stream._powers
 
-        run_engine = engine if engine is not None else SkylineEngine()
-        result = run_engine.execute(dataset, algorithm, counter=stream._counter)
-        skyline_ids = set(int(i) for i in result.indices)
+        if skyline_ids is None:
+            from repro.engine import SkylineEngine
 
-        for point_id in range(n):
-            stream._points[point_id] = values[point_id].copy()
-            stream._masks[point_id] = int(mask_values[point_id])
-            if point_id in skyline_ids:
-                stream._sky.add(point_id)
-                stream._store.add(point_id, stream._masks[point_id])
-            else:
-                stream._buffer.add(point_id)
-        stream._next_id = n
+            run_engine = engine if engine is not None else SkylineEngine()
+            result = run_engine.execute(dataset, algorithm, counter=stream._counter)
+            sky = np.asarray(result.indices, dtype=np.intp)
+        else:
+            sky = np.asarray(skyline_ids, dtype=np.intp)
+        stream._in_sky[sky] = True
+        masks_list = stream._mask_arr[sky].tolist()
+        for point_id, mask in zip(sky.tolist(), masks_list):
+            stream._store.add(point_id, mask)
+        # Witness discovery: every non-skyline row is dominated by some
+        # skyline row; one bulk elimination sweep records a dominator id
+        # per buffered point so later deletes re-probe only orphans.  This
+        # is the bulk analogue of the per-arrival probe, charged the same
+        # way, and it runs once per bulk load.
+        buffered = np.flatnonzero(stream._live[:n] & ~stream._in_sky[:n])
+        if buffered.size:
+            sky_rows, sky_ids_sorted = stream._sky_by_sum()
+            _, witness = stream._eliminate(
+                stream._rows[buffered], sky_rows, sky_ids_sorted
+            )
+            stream._witness[buffered] = witness
         return stream
+
+    # -- introspection -------------------------------------------------------
 
     @property
     def dimensionality(self) -> int:
@@ -163,20 +250,36 @@ class StreamingSkyline:
         """Dominance-test accounting across the stream's lifetime."""
         return self._counter
 
+    @property
+    def window(self) -> int | None:
+        """The sliding-window size; ``None`` when unbounded."""
+        return self._window
+
+    @property
+    def issued_ids(self) -> int:
+        """Total stream ids issued so far (live or not; never reused)."""
+        return self._next_id
+
     def __len__(self) -> int:
-        """Number of live (inserted, not deleted) points."""
-        return len(self._points)
+        """Number of live (inserted, not deleted, not evicted) points."""
+        return self._live_count
 
     def skyline_ids(self) -> list[int]:
         """Sorted ids of the current skyline."""
-        return sorted(self._sky)
+        return np.flatnonzero(self._in_sky[: self._next_id]).tolist()
 
     def skyline_points(self) -> np.ndarray:
         """Coordinates of the current skyline, ordered by id."""
-        ids = self.skyline_ids()
-        if not ids:
-            return np.empty((0, self._d))
-        return np.stack([self._points[i] for i in ids])
+        ids = np.flatnonzero(self._in_sky[: self._next_id])
+        if ids.size == 0:
+            return np.empty((0, self._d), dtype=np.float64)
+        return self._rows[ids]
+
+    def live_ids(self) -> list[int]:
+        """Sorted ids of every live point (skyline and buffered)."""
+        return np.flatnonzero(self._live[: self._next_id]).tolist()
+
+    # -- mutation ------------------------------------------------------------
 
     def insert(self, point: Iterable[float]) -> int:
         """Insert a point; returns its stream id."""
@@ -187,91 +290,412 @@ class StreamingSkyline:
             )
         if not np.isfinite(row).all():
             raise InvalidParameterError("point contains NaN or infinite values")
+        return self._insert_row(row)
+
+    def insert_many(self, rows: "Sequence[Iterable[float]] | np.ndarray") -> list[int]:
+        """Insert a block of rows; returns their stream ids.
+
+        The final state is identical to calling :meth:`insert` per row.
+        When no window is active and the anchor set is full, inserts that
+        the pre-batch skyline already dominates are identified with one
+        vectorised elimination sweep and appended as plain buffered points
+        — the per-point probe (index query, demotion sweep) runs only for
+        the survivors.  Elimination against the pre-batch skyline is sound
+        even though survivors may demote points mid-batch: a demoted
+        dominator was itself dominated by an earlier insert, which by
+        transitivity still dominates the eliminated point.
+        """
+        block = np.asarray(rows, dtype=np.float64)
+        if block.ndim != 2 or block.shape[1] != self._d:
+            raise DimensionMismatchError(
+                f"expected a (k, {self._d}) block, got shape {block.shape}"
+            )
+        if not np.isfinite(block).all():
+            raise InvalidParameterError("block contains NaN or infinite values")
+        k = block.shape[0]
+        if (
+            self._window is not None
+            or self._n_anchors < self._max_anchors
+            or k < 2
+        ):
+            # Window eviction (and anchor growth) interleaves with the
+            # arrivals, so the pre-batch skyline is not a stable filter.
+            return [self._insert_row(block[i]) for i in range(k)]
+
+        anchors = self._anchor_block[: self._n_anchors]
+        self._counter.add(k * anchors.shape[0])
+        masks = (block[:, None, :] < anchors[None, :, :]).any(axis=1) @ self._powers
+
+        sky_rows, sky_ids_sorted = self._sky_by_sum()
+        dominated, witness = self._eliminate(block, sky_rows, sky_ids_sorted)
+
+        # Bulk allocation: ids are assigned in arrival order either way,
+        # and a dominated arrival never influences later probes, so the
+        # whole block lands in one columnar write.  Survivors then settle
+        # (probe, demote, index) one by one in arrival order.
+        base = self._next_id
+        self._grow_to(base + k)
+        self._rows[base : base + k] = block
+        self._live[base : base + k] = True
+        self._mask_arr[base : base + k] = masks
+        self._witness[base : base + k] = witness
+        self._next_id = base + k
+        self._live_count += k
+        survivors = np.flatnonzero(~dominated)
+        if survivors.size:
+            self._settle_survivors(base, block, masks, survivors)
+        return list(range(base, base + k))
+
+    def delete(self, point_id: int) -> None:
+        """Delete a live point; promotes newly exposed buffered points.
+
+        Only buffered points whose recorded witness is the deleted point
+        can join the skyline — every other buffered point still holds a
+        live dominator — so the candidate scan is an uncharged id
+        comparison and dominance tests are spent on the orphans alone.
+        """
+        point_id = self._checked_live(point_id)
+        was_sky = bool(self._in_sky[point_id])
+        self._live[point_id] = False
+        self._in_sky[point_id] = False
+        self._live_count -= 1
+        if was_sky:
+            self._store.remove(point_id, int(self._mask_arr[point_id]))
+        # A demoted (buffered) point can be a witness too, so the orphan
+        # scan runs for every delete, skyline member or not.
+        buffer = self._buffer_ids()
+        if buffer.size == 0:
+            return
+        orphans = buffer[self._witness[buffer] == point_id]
+        self._promote_exposed(orphans, self._rows[orphans])
+
+    def delete_many(self, point_ids: "Sequence[int] | np.ndarray") -> None:
+        """Delete a batch of live points with one shared promotion sweep.
+
+        The final state equals deleting the points one by one.  The
+        witness column turns exposure into bookkeeping: only buffered
+        points whose witness is among the deleted ids are candidates, and
+        those orphans flow through one shared vectorised promotion sweep
+        (one dominance test per inspected pair).
+        """
+        ids = np.unique(np.asarray(point_ids, dtype=np.intp))
+        if ids.size == 0:
+            return
+        for point_id in ids.tolist():
+            self._checked_live(point_id)
+        sky_deleted = ids[self._in_sky[ids]]
+        self._live[ids] = False
+        self._in_sky[ids] = False
+        self._live_count -= int(ids.size)
+        masks_list = self._mask_arr[sky_deleted].tolist()
+        for point_id, mask in zip(sky_deleted.tolist(), masks_list):
+            self._store.remove(point_id, mask)
+        buffer = self._buffer_ids()
+        if buffer.size == 0:
+            return
+        orphans = buffer[np.isin(self._witness[buffer], ids)]
+        self._promote_exposed(orphans, self._rows[orphans])
+
+    # -- internals -----------------------------------------------------------
+
+    def _append_row(self, row: np.ndarray) -> int:
+        """Storage-only arrival: allocate the slot, mark live, no probing."""
         point_id = self._next_id
-        self._next_id += 1
-        self._points[point_id] = row
-        if len(self._anchor_rows) < self._max_anchors:
+        self._grow_to(point_id + 1)
+        self._rows[point_id] = row
+        self._live[point_id] = True
+        self._next_id = point_id + 1
+        self._live_count += 1
+        return point_id
+
+    def _insert_row(self, row: np.ndarray, mask: int | None = None) -> int:
+        point_id = self._append_row(row)
+        if self._n_anchors < self._max_anchors:
             # Lemma 4.3's superset property only holds between masks
             # computed against the SAME anchor set, so growing the set
             # forces a recomputation of every live mask (cheap: it can
             # happen at most `anchors` times, at stream start).
-            self._anchor_rows.append(row.copy())
+            self._anchor_block[self._n_anchors] = row
+            self._n_anchors += 1
             self._recompute_masks()
-        mask = self._mask_of(row)
-        self._masks[point_id] = mask
+            mask = None  # computed against the pre-growth anchor set
+        if mask is None:
+            mask = self._mask_of(row)
+        self._mask_arr[point_id] = mask
+        self._settle_new_point(point_id, row, mask)
+        self._evict_overflow()
+        return point_id
 
-        candidate_ids = self._store.query_ids(mask)
-        block = self._gather(candidate_ids)
-        if first_dominator(block, row, self._counter) != -1:
-            self._buffer.add(point_id)
-            return point_id
+    def _settle_new_point(self, point_id: int, row: np.ndarray, mask: int) -> None:
+        """Probe an allocated arrival: buffer it (with witness) or promote.
 
+        On promotion, every skyline point the arrival dominates is demoted
+        to the buffer with the arrival as its witness.
+        """
+        wid = self._find_dominator(row, mask)
+        if wid != -1:
+            self._witness[point_id] = wid
+            return
         # New skyline point: demote every skyline point it now dominates.
-        sky_ids = sorted(self._sky)
-        if sky_ids:
-            sky_block = self._gather(sky_ids)
-            self._counter.add(len(sky_ids))
+        sky_ids = np.flatnonzero(self._in_sky[:point_id])
+        if sky_ids.size:
+            sky_block = self._rows[sky_ids]
+            self._counter.add(int(sky_ids.size))
             dominated = np.all(row <= sky_block, axis=1) & ~np.all(
                 row == sky_block, axis=1
             )
-            for demoted in np.asarray(sky_ids, dtype=np.intp)[dominated]:
-                demoted = int(demoted)
-                self._sky.discard(demoted)
-                self._store.remove(demoted, self._masks[demoted])
-                self._buffer.add(demoted)
-        self._sky.add(point_id)
+            for demoted in sky_ids[dominated].tolist():
+                self._in_sky[demoted] = False
+                self._store.remove(demoted, int(self._mask_arr[demoted]))
+                self._witness[demoted] = point_id
+        self._witness[point_id] = -1
+        self._in_sky[point_id] = True
         self._store.add(point_id, mask)
+
+    def _settle_survivors(
+        self,
+        base: int,
+        block: np.ndarray,
+        masks: np.ndarray,
+        survivors: np.ndarray,
+    ) -> None:
+        """Settle a batch's undominated arrivals against sky and each other.
+
+        Elimination already proved no pre-batch skyline point dominates a
+        survivor, so the only possible dominators are survivors promoted
+        earlier in the same batch (a since-demoted one still counts: it is
+        live and, by transitivity, something in the skyline dominates the
+        probe too).  The per-survivor demotion sweeps against the
+        pre-batch skyline collapse into one broadcast comparison, charged
+        as the sequential sweeps would be; survivor-vs-survivor dominance
+        is one pairwise pass, charged per ordered pair.
+        """
+        sky_ids_cur = np.flatnonzero(self._in_sky[:base])
+        srows = block[survivors]
+        m = int(survivors.size)
+        if sky_ids_cur.size:
+            sky_block = self._rows[sky_ids_cur]
+            self._counter.add(m * int(sky_ids_cur.size))
+            demote = np.all(
+                srows[:, None, :] <= sky_block[None, :, :], axis=2
+            ) & ~np.all(srows[:, None, :] == sky_block[None, :, :], axis=2)
+        else:
+            demote = np.zeros((m, 0), dtype=bool)
+        if m > 1:
+            self._counter.add(m * (m - 1))
+            dom_ss = np.all(
+                srows[:, None, :] <= srows[None, :, :], axis=2
+            ) & ~np.all(srows[:, None, :] == srows[None, :, :], axis=2)
+        else:
+            dom_ss = np.zeros((m, m), dtype=bool)
+        sky_list = sky_ids_cur.tolist()
+        promoted: list[int] = []  # positions into `survivors`, in order
+        for j in range(m):
+            point_id = int(base + survivors[j])
+            dominator = next((p for p in promoted if dom_ss[p, j]), None)
+            if dominator is not None:
+                self._witness[point_id] = int(base + survivors[dominator])
+                continue
+            for q_idx in np.flatnonzero(demote[j]).tolist():
+                q = sky_list[q_idx]
+                if self._in_sky[q]:
+                    self._in_sky[q] = False
+                    self._store.remove(q, int(self._mask_arr[q]))
+                    self._witness[q] = point_id
+            for p in promoted:
+                pid = int(base + survivors[p])
+                if self._in_sky[pid] and dom_ss[j, p]:
+                    self._in_sky[pid] = False
+                    self._store.remove(pid, int(self._mask_arr[pid]))
+                    self._witness[pid] = point_id
+            self._witness[point_id] = -1
+            self._in_sky[point_id] = True
+            self._store.add(point_id, int(masks[survivors[j]]))
+            promoted.append(j)
+
+    def _promote_exposed(self, exposed: np.ndarray, block: np.ndarray) -> None:
+        """Promote exposed buffered points in ascending coordinate-sum order.
+
+        Two phases.  The elimination phase (:meth:`_eliminate`) discards
+        candidates the *current* skyline still dominates, vectorised.  The
+        few survivors then re-probe the live store per
+        candidate in ascending-sum order — a promoted point is indexed
+        before anything it dominates is probed, so survivors dominated
+        only by *other exposed candidates* resolve exactly as the
+        one-by-one delete path would.
+        """
+        if exposed.size == 0:
+            return
+        order = np.argsort(block.sum(axis=1), kind="stable")
+        exposed = exposed[order]
+        block = block[order]
+        sky_rows, sky_ids_sorted = self._sky_by_sum()
+        dominated, witness = self._eliminate(block, sky_rows, sky_ids_sorted)
+        self._witness[exposed] = witness
+        for buf_id in exposed[~dominated].tolist():
+            mask = int(self._mask_arr[buf_id])
+            wid = self._find_dominator(self._rows[buf_id], mask)
+            if wid != -1:
+                # Dominated by a candidate promoted earlier in this sweep.
+                self._witness[buf_id] = wid
+            else:
+                self._witness[buf_id] = -1
+                self._in_sky[buf_id] = True
+                self._store.add(buf_id, mask)
+
+    def _sky_by_sum(self) -> tuple[np.ndarray, np.ndarray]:
+        """Skyline rows and their ids, sorted by ascending coordinate sum."""
+        ids = np.flatnonzero(self._in_sky[: self._next_id])
+        rows = self._rows[ids]
+        order = np.argsort(rows.sum(axis=1), kind="stable")
+        return rows[order], ids[order]
+
+    def _eliminate(
+        self, rows: np.ndarray, sky_rows: np.ndarray, sky_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Flag which of ``rows`` some skyline point dominates, vectorised.
+
+        The dominator block — in ascending coordinate-sum order, strongest
+        points first — is scanned in ``_PROMOTION_CHUNK``-row rounds
+        against every still-undecided candidate at once, dropping
+        dominated candidates between rounds.  Candidates are ordered by
+        coordinate sum too: once the scan reaches dominators whose sums
+        meet a candidate's own, that candidate can never be dominated and
+        is finalised without further charge, so the charged tests (one
+        per inspected pair) stay near what a short-circuiting sort-first
+        scalar scan would charge while every comparison is one numpy
+        kernel.
+
+        Returns ``(dominated, witness)``: the flag per row plus the id
+        (from ``sky_ids``, aligned with ``sky_rows``) of one dominator per
+        dominated row, -1 elsewhere.
+        """
+        dominated = np.zeros(rows.shape[0], dtype=bool)
+        witness = np.full(rows.shape[0], -1, dtype=np.intp)
+        if sky_rows.shape[0] == 0 or rows.shape[0] == 0:
+            return dominated, witness
+        order = np.argsort(rows.sum(axis=1), kind="stable")
+        sorted_rows = rows[order]
+        sky_sums = sky_rows.sum(axis=1)
+        undecided = np.arange(rows.shape[0])
+        undecided_sums = sorted_rows.sum(axis=1)
+        for start in range(0, sky_rows.shape[0], _PROMOTION_CHUNK):
+            # A dominator's sum is strictly below its victim's; candidates
+            # whose sums fall at or below every remaining dominator's are
+            # survivors — finalise them for free.
+            cut = int(
+                np.searchsorted(undecided_sums, sky_sums[start], side="right")
+            )
+            if cut:
+                undecided = undecided[cut:]
+                undecided_sums = undecided_sums[cut:]
+            if undecided.size == 0:
+                break
+            stop = min(start + _PROMOTION_CHUNK, sky_rows.shape[0])
+            chunk = sky_rows[start:stop]
+            sub = sorted_rows[undecided]
+            self._counter.add(int(undecided.size) * chunk.shape[0])
+            # all(<=) plus a strictly smaller coordinate sum is exactly
+            # dominance: given all(<=), some coordinate is strict iff the
+            # sums differ — one comparison pass instead of two.
+            hits = np.all(chunk[None, :, :] <= sub[:, None, :], axis=2) & (
+                sky_sums[None, start:stop] < undecided_sums[:, None]
+            )
+            hit = hits.any(axis=1)
+            if hit.any():
+                rows_hit = undecided[hit]
+                first = np.argmax(hits[hit], axis=1)
+                dominated[order[rows_hit]] = True
+                witness[order[rows_hit]] = sky_ids[start + first]
+                undecided = undecided[~hit]
+                undecided_sums = undecided_sums[~hit]
+        return dominated, witness
+
+    def _find_dominator(self, row: np.ndarray, mask: int) -> int:
+        """Id of an indexed skyline point dominating ``row``, or -1.
+
+        One subset query, then the candidate rows are gathered and tested
+        in geometrically growing chunks — candidates are charged exactly
+        as :func:`first_dominator`'s sequential early-exit scan charges,
+        but a dominated probe never pays the gather of the full candidate
+        set.
+        """
+        ids = self._store.query_ids(mask)
+        ids = np.asarray(
+            ids if isinstance(ids, np.ndarray) else list(ids), dtype=np.intp
+        )
+        start, width = 0, _PROBE_CHUNK
+        while start < ids.size:
+            block = self._rows[ids[start : start + width]]
+            idx = first_dominator(block, row, self._counter)
+            if idx != -1:
+                return int(ids[start + idx])
+            start += width
+            width *= 2
+        return -1
+
+    def _evict_overflow(self) -> None:
+        """Window mode: delete oldest live points while over the window."""
+        if self._window is None:
+            return
+        while self._live_count > self._window:
+            while not self._live[self._oldest]:
+                self._oldest += 1
+            self.delete(self._oldest)
+
+    def _checked_live(self, point_id: int) -> int:
+        point_id = int(point_id)
+        if not (0 <= point_id < self._next_id) or not self._live[point_id]:
+            raise KeyError(f"point {point_id} is not live")
         return point_id
 
-    def delete(self, point_id: int) -> None:
-        """Delete a live point; promotes newly exposed buffered points."""
-        if point_id not in self._points:
-            raise KeyError(f"point {point_id} is not live")
-        row = self._points.pop(point_id)
-        mask = self._masks.pop(point_id)
-        if point_id in self._buffer:
-            self._buffer.discard(point_id)
-            return
-        self._sky.discard(point_id)
-        self._store.remove(point_id, mask)
+    def _buffer_ids(self) -> np.ndarray:
+        prefix = slice(0, self._next_id)
+        return np.flatnonzero(self._live[prefix] & ~self._in_sky[prefix])
 
-        # Promotion sweep: only points the deleted row dominated can become
-        # skyline.  Ascending coordinate sum guarantees that a promoted
-        # point is indexed before anything it dominates is probed.
-        exposed = [
-            buf_id
-            for buf_id in self._buffer
-            if self._charged_dominates(row, self._points[buf_id])
-        ]
-        exposed.sort(key=lambda i: float(self._points[i].sum()))
-        for buf_id in exposed:
-            candidate_ids = self._store.query_ids(self._masks[buf_id])
-            block = self._gather(candidate_ids)
-            if first_dominator(block, self._points[buf_id], self._counter) == -1:
-                self._buffer.discard(buf_id)
-                self._sky.add(buf_id)
-                self._store.add(buf_id, self._masks[buf_id])
+    def _grow_to(self, needed: int) -> None:
+        capacity = self._rows.shape[0]
+        if needed <= capacity:
+            return
+        new_capacity = capacity
+        while new_capacity < needed:
+            new_capacity *= 2
+        rows = np.empty((new_capacity, self._d), dtype=np.float64)
+        rows[:capacity] = self._rows
+        live = np.zeros(new_capacity, dtype=bool)
+        live[:capacity] = self._live
+        in_sky = np.zeros(new_capacity, dtype=bool)
+        in_sky[:capacity] = self._in_sky
+        mask_arr = np.zeros(new_capacity, dtype=np.int64)
+        mask_arr[:capacity] = self._mask_arr
+        witness = np.full(new_capacity, -1, dtype=np.intp)
+        witness[:capacity] = self._witness
+        self._rows, self._live, self._in_sky, self._mask_arr = (
+            rows,
+            live,
+            in_sky,
+            mask_arr,
+        )
+        self._witness = witness
 
     def _recompute_masks(self) -> None:
         """Refresh every live mask and rebuild the index for new anchors."""
         self._store.clear()
-        for pid, row in self._points.items():
-            self._masks[pid] = self._mask_of(row)
-        for pid in self._sky:
-            self._store.add(pid, self._masks[pid])
-
-    def _charged_dominates(self, p: np.ndarray, q: np.ndarray) -> bool:
-        self._counter.add()
-        return bool(np.all(p <= q) and np.any(p < q))
+        live = np.flatnonzero(self._live[: self._next_id])
+        anchor_block = self._anchor_block[: self._n_anchors]
+        if live.size:
+            self._counter.add(int(live.size) * anchor_block.shape[0])
+            beats = (self._rows[live][:, None, :] < anchor_block[None, :, :]).any(
+                axis=1
+            )
+            self._mask_arr[live] = beats @ self._powers
+        sky = live[self._in_sky[live]]
+        masks_list = self._mask_arr[sky].tolist()
+        for point_id, mask in zip(sky.tolist(), masks_list):
+            self._store.add(point_id, mask)
 
     def _mask_of(self, row: np.ndarray) -> int:
-        anchors = np.stack(self._anchor_rows)
+        anchors = self._anchor_block[: self._n_anchors]
         self._counter.add(anchors.shape[0])
         strict = row[None, :] < anchors
-        return bitset.from_dims(int(dim) for dim in np.nonzero(strict.any(axis=0))[0])
-
-    def _gather(self, ids: Iterable[int]) -> np.ndarray:
-        ids = list(ids)
-        if not ids:
-            return np.empty((0, self._d))
-        return np.stack([self._points[i] for i in ids])
+        return int(strict.any(axis=0) @ self._powers)

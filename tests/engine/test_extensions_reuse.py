@@ -67,7 +67,8 @@ class TestStreamingBulkLoad:
         bulk = StreamingSkyline.from_dataset(values, anchors=6)
         assert bulk.skyline_ids() == sequential.skyline_ids()
         assert len(bulk) == len(sequential)
-        assert bulk._masks == sequential._masks
+        n = values.shape[0]
+        assert np.array_equal(bulk._mask_arr[:n], sequential._mask_arr[:n])
 
     def test_bulk_loaded_stream_keeps_maintaining_correctly(self, ui_small):
         values = ui_small.values[:80]

@@ -76,7 +76,9 @@ class TestBasics:
         assert list(pts[0]) == [1.0, 4.0]
 
     def test_empty_skyline_points(self):
-        assert StreamingSkyline(d=3).skyline_points().shape == (0, 3)
+        pts = StreamingSkyline(d=3).skyline_points()
+        assert pts.shape == (0, 3)
+        assert pts.dtype == np.float64  # pinned: callers vstack onto this
 
     def test_counter_accumulates(self):
         sky = StreamingSkyline(d=2)
@@ -119,6 +121,70 @@ class TestEquivalenceWithBatch:
         assert sky.skyline_ids() == []
 
 
+class TestBatchedMutations:
+    def test_insert_many_matches_sequential(self):
+        rng = np.random.default_rng(3)
+        prefix, batch = rng.random((120, 3)), rng.random((50, 3))
+        batched = StreamingSkyline(d=3, anchors=4)
+        sequential = StreamingSkyline(d=3, anchors=4)
+        for p in prefix:
+            batched.insert(p)
+            sequential.insert(p)
+        ids = batched.insert_many(batch)
+        assert ids == [sequential.insert(p) for p in batch]
+        assert batched.skyline_ids() == sequential.skyline_ids()
+
+    def test_delete_many_matches_sequential(self):
+        rng = np.random.default_rng(4)
+        pts = rng.random((150, 3))
+        batched = StreamingSkyline(d=3, anchors=4)
+        sequential = StreamingSkyline(d=3, anchors=4)
+        batched.insert_many(pts)
+        for p in pts:
+            sequential.insert(p)
+        victims = rng.choice(150, size=40, replace=False)
+        batched.delete_many(victims)
+        for v in victims:
+            sequential.delete(int(v))
+        assert batched.skyline_ids() == sequential.skyline_ids()
+        assert len(batched) == len(sequential)
+
+    def test_insert_many_with_window_falls_back_correctly(self):
+        rng = np.random.default_rng(5)
+        pts = rng.random((60, 2))
+        sky = StreamingSkyline(d=2, window=25)
+        sky.insert_many(pts)
+        assert len(sky) == 25
+        window_pts = pts[-25:]
+        expected = [35 + k for k in brute_skyline_ids(window_pts)]
+        assert sky.skyline_ids() == expected
+
+    def test_delete_many_rejects_dead_ids_atomically(self):
+        sky = StreamingSkyline(d=2)
+        a = sky.insert([1.0, 2.0])
+        b = sky.insert([2.0, 1.0])
+        sky.delete(a)
+        with pytest.raises(KeyError):
+            sky.delete_many([a, b])
+        assert sky.skyline_ids() == [b]  # b untouched by the failed batch
+
+    def test_witness_invariant_after_mixed_mutations(self):
+        """Every buffered point records a live dominator as its witness."""
+        rng = np.random.default_rng(6)
+        sky = StreamingSkyline(d=3, anchors=4)
+        ids = sky.insert_many(rng.random((200, 3)))
+        sky.delete_many(rng.choice(ids, size=60, replace=False))
+        sky.insert_many(rng.random((40, 3)))
+        in_sky = set(sky.skyline_ids())
+        for pid in sky.live_ids():
+            if pid in in_sky:
+                continue
+            witness = int(sky._witness[pid])
+            assert witness in set(sky.live_ids())
+            w, v = sky._rows[witness], sky._rows[pid]
+            assert np.all(w <= v) and np.any(w < v)
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     st.lists(
@@ -148,3 +214,65 @@ def test_random_interleavings_match_batch(ops):
         assert sky.skyline_ids() == expected
     else:
         assert sky.skyline_ids() == []
+
+
+@pytest.mark.parametrize("backend", ["map", "flat"])
+@pytest.mark.parametrize("window", [None, 12])
+@settings(max_examples=15, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.lists(  # a batch of points, duplicates/ties likely
+                st.lists(st.integers(0, 4), min_size=2, max_size=2),
+                min_size=1,
+                max_size=5,
+            ),
+            st.sampled_from(["insert", "insert_many", "delete", "delete_many"]),
+            st.integers(0, 3),  # victim count for delete ops
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_mutation_bridge_matches_oracle(backend, window, ops):
+    """Randomized mutation sequences track the brute-force oracle exactly.
+
+    Drives every public mutation entry point (scalar and batched, with
+    and without a sliding window) on both subset-index backends; after
+    each step the live skyline must equal the oracle's and the charged
+    dominance-test counter must be monotone non-decreasing.
+    """
+    sky = StreamingSkyline(d=2, anchors=2, backend=backend, window=window)
+    live: dict[int, list[float]] = {}
+    last_tests = 0
+    for batch, op, victims in ops:
+        if op in ("delete", "delete_many") and live:
+            targets = sorted(live)[: max(1, victims)]
+            if op == "delete":
+                sky.delete(targets[0])
+                del live[targets[0]]
+            else:
+                sky.delete_many(targets)
+                for t in targets:
+                    del live[t]
+        else:
+            rows = [[float(c) for c in coords] for coords in batch]
+            if op == "insert_many" or len(rows) > 1:
+                ids = sky.insert_many(rows)
+            else:
+                ids = [sky.insert(rows[0])]
+            for pid, row in zip(ids, rows):
+                live[pid] = row
+            if window is not None:
+                while len(live) > window:
+                    del live[min(live)]  # mirror oldest-first eviction
+        assert sky.counter.tests >= last_tests  # charged DT is monotone
+        last_tests = sky.counter.tests
+        if live:
+            order = sorted(live)
+            values = np.array([live[i] for i in order])
+            expected = [order[k] for k in brute_skyline_ids(values)]
+            assert sky.skyline_ids() == expected
+        else:
+            assert sky.skyline_ids() == []
+        assert len(sky) == len(live)
