@@ -2,8 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install install-dev test test-fast bench bench-incremental \
-        experiments report examples lint typecheck analyze analyze-baseline \
-        clean
+        bench-check experiments report examples lint typecheck analyze \
+        analyze-baseline clean
 
 install:
 	$(PYTHON) -m pip install -e ".[test]"
@@ -25,6 +25,13 @@ bench:
 # and the >= 5x wall speedup enforced (non-zero exit on failure).
 bench-incremental:
 	$(PYTHON) benchmarks/bench_throughput.py --only incremental_repair --out BENCH_throughput.json
+
+# Bench-trajectory regression gate: rerun the two engine scenarios into a
+# throwaway report and compare against the committed history with the
+# noise-tolerant checker (sustained wall slowdowns and DT growth fail).
+bench-check:
+	$(PYTHON) benchmarks/bench_throughput.py --only repeated_queries --only incremental_repair --out .bench-fresh.json
+	$(PYTHON) -m repro.obs.regress --history BENCH_throughput.json --fresh .bench-fresh.json
 
 experiments:
 	$(PYTHON) -m repro.bench all
@@ -70,3 +77,4 @@ analyze-baseline:
 clean:
 	find . -type d -name __pycache__ -exec rm -rf {} +
 	rm -rf .pytest_cache .hypothesis build dist *.egg-info
+	rm -f .bench-fresh.json

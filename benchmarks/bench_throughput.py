@@ -36,7 +36,10 @@ Results land in ``BENCH_throughput.json`` as *schema version 2*: one
 any configuration upserts its entry in place — the file no longer grows
 with duplicate appends — and entries from other configurations (e.g. a
 ``--quick`` CI run next to a paper-scale run) coexist under their own
-keys.
+keys.  Each entry also carries a bounded ``history`` trajectory (one
+metrics sample per upsert, plus the executed ``plan`` fields) that
+``python -m repro.obs.regress`` / ``make bench-check`` compares fresh
+runs against to flag sustained slowdowns.
 
 Usage::
 
@@ -70,6 +73,7 @@ from repro.data import generate
 from repro.engine import SkylineEngine
 from repro.engine.context import ExecutionContext
 from repro.obs import Tracer, aggregate_phases
+from repro.obs.regress import MAX_HISTORY, trajectory_sample
 from repro.stats.counters import DominanceCounter
 
 SCHEMA_VERSION = 2
@@ -145,8 +149,36 @@ def scenario_key(name: str, kind: str, n: int, d: int, seed: int) -> str:
 
 
 def upsert(report: dict, key: str, entry: dict) -> None:
+    """Replace ``key``'s entry, extending its recorded trajectory.
+
+    The entry replaces the previous one wholesale (no duplicate appends),
+    but the previous entry's ``history`` — the bench trajectory the
+    :mod:`repro.obs.regress` gate compares fresh runs against — carries
+    over, gains a sample of the new entry, and stays capped at
+    ``MAX_HISTORY``.
+    """
     entry["recorded_unix"] = int(time.time())
+    previous = report["scenarios"].get(key)
+    history = list(previous.get("history", ())) if isinstance(previous, dict) else []
+    history.append(trajectory_sample(entry))
+    entry["history"] = history[-MAX_HISTORY:]
     report["scenarios"][key] = entry
+
+
+def plan_fields(plan) -> dict:
+    """The executed-plan fields a scenario entry records for trajectory.
+
+    A plan change (different algorithm, backend, or strategy) is the most
+    common honest explanation for a wall-time shift, so the regression
+    gate surfaces these fields next to any finding.
+    """
+    return {
+        "algorithm": plan.label,
+        "index_backend": plan.index_backend,
+        "incremental": bool(plan.incremental),
+        "parallel_strategy": plan.parallel_strategy,
+        "workers": plan.workers,
+    }
 
 
 # -- scenario: batched vs scalar --------------------------------------------
@@ -193,6 +225,14 @@ def run_batched_vs_scalar(kind, n, d, seed, repeats):
             "remaining_points": int(merged.remaining_ids.size),
         },
         "hosts": {},
+        # Scan-phase bench, no engine plan: record the equivalent wiring.
+        "plan": {
+            "algorithm": "scan-phase",
+            "index_backend": "map",
+            "incremental": False,
+            "parallel_strategy": "none",
+            "workers": 1,
+        },
     }
     ok = True
     for name, (scalar_factory, batched_factory) in HOSTS.items():
@@ -247,6 +287,14 @@ def run_flat_vs_map(prepared_pair, kind, n, d, seed, repeats):
         "config": {"kind": kind, "n": n, "d": d, "seed": seed, "repeats": repeats},
         "hosts": {},
         "baseline": "pr2_batched_map" if canonical else None,
+        # Scan-phase bench, no engine plan: record the equivalent wiring.
+        "plan": {
+            "algorithm": "scan-phase",
+            "index_backend": "flat",
+            "incremental": False,
+            "parallel_strategy": "none",
+            "workers": 1,
+        },
     }
     ok = True
     ratios = []
@@ -386,6 +434,7 @@ def run_block_parallel(kind, n, d, seed, workers, algorithm="sdi-subset"):
             "prefix_size": plan.prefix_size,
             "block_growth": plan.block_growth,
         },
+        "plan": plan_fields(plan),
         "serial_flat_s": round(serial_s, 6),
         "parallel_s": round(parallel_s, 6),
         "speedup": round(speedup, 3) if speedup else None,
@@ -509,6 +558,7 @@ def run_session(dataset, stream, algorithm, shared_engine):
     counter = DominanceCounter()
     results = []
     total = 0.0
+    last_plan = None
     for dims in stream:
         query_engine = engine if engine is not None else SkylineEngine()
         start = time.perf_counter()
@@ -516,17 +566,20 @@ def run_session(dataset, stream, algorithm, shared_engine):
         result = query_engine.execute(view, algorithm, counter=counter)
         total += time.perf_counter() - start
         results.append(list(result.indices))
-    return results, counter, total
+        last_plan = result.plan
+    return results, counter, total, last_plan
 
 
-def run_repeated_queries(kind, n, d, seed, queries=50, algorithm="sfs-subset"):
+def run_repeated_queries(
+    kind, n, d, seed, queries=50, algorithm="sfs-subset", explain_analyze=False
+):
     """Cold (fresh engine per query) vs warm (shared engine) sessions."""
     dataset = generate(kind, n=n, d=d, seed=seed)
     stream = query_stream(d, queries)
-    cold_results, cold_counter, cold_s = run_session(
+    cold_results, cold_counter, cold_s, _ = run_session(
         dataset, stream, algorithm, shared_engine=False
     )
-    warm_results, warm_counter, warm_s = run_session(
+    warm_results, warm_counter, warm_s, warm_plan = run_session(
         dataset, stream, algorithm, shared_engine=True
     )
     identical = cold_results == warm_results
@@ -550,6 +603,7 @@ def run_repeated_queries(kind, n, d, seed, queries=50, algorithm="sfs-subset"):
         "warm_prepared_cache_misses": warm_counter.prepared_cache_misses,
         "identical": identical,
         "meets_2x": bool(speedup and speedup >= 2.0),
+        "plan": plan_fields(warm_plan),
     }
     marker = "" if identical else "  <-- MISMATCH"
     print(
@@ -557,13 +611,19 @@ def run_repeated_queries(kind, n, d, seed, queries=50, algorithm="sfs-subset"):
         f"speedup {report['speedup']:>6}x  "
         f"prepared hits {warm_counter.prepared_cache_hits}{marker}"
     )
+    if explain_analyze:
+        # The pinned session plan carries no cost-model estimates by
+        # contract; one extra adaptive execution on the warm dataset
+        # shows the planner's estimate-vs-actual rows for the workload.
+        adaptive = SkylineEngine().execute(dataset)
+        print(adaptive.plan.analyze(adaptive).render())
     return report, identical and report["meets_2x"]
 
 
 # -- scenario: incremental delta repair vs full recompute --------------------
 
 
-def run_incremental_repair(kind, n, d, seed):
+def run_incremental_repair(kind, n, d, seed, explain_analyze=False):
     """Delta repair of a 1% mutation batch vs invalidate-and-recompute.
 
     Two engines are warmed with one full execution plus one throwaway
@@ -655,6 +715,7 @@ def run_incremental_repair(kind, n, d, seed):
             "deleted": int(deletes.size),
         },
         "delta_mode": inc_report.mode,
+        "plan": plan_fields(plan),
         "planned_incremental": planned_incremental,
         "pending_mutations": plan.pending_mutations,
         "repair_cost_est": plan.repair_cost,
@@ -702,6 +763,8 @@ def run_incremental_repair(kind, n, d, seed):
             f"(need >= {INCREMENTAL_GATE_SPEEDUP}x): "
             + ("PASS" if report["gate_pass"] else "FAIL")
         )
+    if explain_analyze:
+        print(inc_result.plan.analyze(inc_result).render())
     # Deterministic checks decide the exit code; at the canonical
     # configuration the wall gate is part of the contract too.
     gate_ok = identical and planned_incremental
@@ -727,7 +790,11 @@ def phase_breakdown(kind, n, d, seed, algorithm="sdi-subset"):
             "cpu_s": round(phase.cpu_s, 6),
             "dominance_tests": phase.dominance_tests,
         }
-    return {"algorithm": algorithm, "phases": phases}
+    return {
+        "algorithm": algorithm,
+        "plan": plan_fields(result.plan),
+        "phases": phases,
+    }
 
 
 def main(argv=None):
@@ -770,6 +837,12 @@ def main(argv=None):
         "--list-scenarios",
         action="store_true",
         help="print gate status for every recorded scenario and exit",
+    )
+    parser.add_argument(
+        "--explain-analyze",
+        action="store_true",
+        help="print EXPLAIN ANALYZE (estimates vs actuals) for the "
+        "repeated_queries and incremental_repair scenarios",
     )
     parser.add_argument(
         "--out",
@@ -851,7 +924,12 @@ def main(argv=None):
 
     if "repeated_queries" in selected:
         repeated, repeated_ok = run_repeated_queries(
-            args.kind, args.n, args.d, args.seed, queries=args.queries
+            args.kind,
+            args.n,
+            args.d,
+            args.seed,
+            queries=args.queries,
+            explain_analyze=args.explain_analyze,
         )
         upsert(
             report,
@@ -868,7 +946,11 @@ def main(argv=None):
 
     if "incremental_repair" in selected:
         incremental, incremental_ok = run_incremental_repair(
-            args.kind, args.n, args.d, args.seed
+            args.kind,
+            args.n,
+            args.d,
+            args.seed,
+            explain_analyze=args.explain_analyze,
         )
         upsert(
             report,

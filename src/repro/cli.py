@@ -75,6 +75,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-phase wall-time / dominance-test breakdown",
     )
+    run.add_argument(
+        "--explain-analyze",
+        action="store_true",
+        help="print the executed plan with cost-model estimates vs actuals",
+    )
+    run.add_argument(
+        "--events",
+        metavar="FILE",
+        help="write the structured event log (JSONL) of the run",
+    )
+    run.add_argument(
+        "--slow-ms",
+        type=float,
+        default=100.0,
+        help="slow-query threshold in ms for the event log (default 100)",
+    )
+    run.add_argument(
+        "--prom",
+        metavar="FILE",
+        help="write Prometheus text-format metrics (counters + histograms)",
+    )
 
     sub.add_parser("algorithms", help="list available algorithm names")
 
@@ -135,16 +156,29 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     dataset = _load_or_generate(args)
     algorithm = None if args.algorithm.lower() == "auto" else args.algorithm
-    observing = bool(args.trace or args.metrics or args.phase_table)
+    observing = bool(
+        args.trace
+        or args.metrics
+        or args.phase_table
+        or args.explain_analyze
+        or args.events
+        or args.prom
+    )
     engine = None
     if observing:
         # Observability asked for: run through an engine whose context
-        # carries a live tracer (the default NullTracer records nothing).
+        # carries a live tracer and event log (the Null defaults record
+        # nothing).
         from repro.engine import SkylineEngine
         from repro.engine.context import ExecutionContext
-        from repro.obs import Tracer
+        from repro.obs import EventLog, Tracer
 
-        engine = SkylineEngine(ExecutionContext(tracer=Tracer()))
+        engine = SkylineEngine(
+            ExecutionContext(
+                tracer=Tracer(),
+                event_log=EventLog(slow_query_s=args.slow_ms / 1000.0),
+            )
+        )
     result = skyline(dataset, algorithm=algorithm, sigma=args.sigma, engine=engine)
     print(f"dataset    : {dataset.describe()}")
     print(f"algorithm  : {result.algorithm}")
@@ -155,6 +189,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(result.plan.explain())
     if args.ids:
         print("ids        :", " ".join(str(i) for i in result.indices))
+    analysis = None
+    if args.explain_analyze and result.plan is not None:
+        analysis = result.plan.analyze(result)
+        print(analysis.render())
     if observing and result.trace is not None:
         from repro.obs import (
             MetricsRegistry,
@@ -168,7 +206,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.trace:
             path = write_chrome_trace(result.trace, args.trace)
             print(f"trace      : wrote {path}")
-        if args.metrics:
+        if args.metrics or args.prom:
             registry = MetricsRegistry()
             registry.record_counter(result.counter)
             registry.record_trace(result.trace)
@@ -176,10 +214,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
             registry.record("run.skyline_size", float(result.size))
             registry.record("run.cardinality", float(result.cardinality))
             registry.record("run.mean_dt", result.mean_dominance_tests)
+            if analysis is not None:
+                registry.record_analysis(analysis)
             if engine is not None:
                 registry.record_pool(engine.context.pool_stats())
-            path = write_metrics(registry.as_dict(), args.metrics)
-            print(f"metrics    : wrote {path}")
+                for name, histogram in engine.context.histograms.items():
+                    registry.record_histogram(name, histogram)
+            if args.metrics:
+                path = write_metrics(registry.as_dict(), args.metrics)
+                print(f"metrics    : wrote {path}")
+            if args.prom:
+                from repro.obs import write_prometheus
+
+                histograms = (
+                    dict(engine.context.histograms) if engine is not None else {}
+                )
+                path = write_prometheus(
+                    args.prom, registry.as_dict(), histograms
+                )
+                print(f"prometheus : wrote {path}")
+    if args.events and engine is not None:
+        path = engine.context.events.write_jsonl(args.events)
+        print(f"events     : wrote {path}")
     return 0
 
 

@@ -1,0 +1,199 @@
+"""EXPLAIN ANALYZE — planner estimates lined up against measured actuals.
+
+:meth:`Plan.explain` shows what the planner *decided* and why;
+:func:`analyze` shows how well its cost model *predicted* the execution:
+the estimator's skyline-size prediction versus the returned skyline, the
+repair/recompute dominance-test estimates versus the charged tests, and —
+when the result carries a trace — the per-phase actuals the estimates must
+explain.  Each row's misestimation ratio (``actual / estimated``) doubles
+as a planner-accuracy metric (:meth:`PlanAnalysis.accuracy_metrics`), so a
+long-running session can watch its cost model drift.
+
+The planner costs in dominance tests, not seconds (the paper's primary
+metric), so wall time appears as an actual-only row: it anchors the DT
+rows to observed latency without pretending the model predicts seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.engine.plan import Plan
+from repro.errors import InvalidParameterError
+from repro.obs.trace import PhaseStats, aggregate_phases
+
+if TYPE_CHECKING:
+    from repro.algorithms.base import SkylineResult
+
+__all__ = ["AnalyzedRow", "PlanAnalysis", "analyze"]
+
+
+@dataclass(frozen=True)
+class AnalyzedRow:
+    """One estimate-vs-actual line of an EXPLAIN ANALYZE report."""
+
+    metric: str
+    estimated: float | None
+    actual: float | None
+    unit: str = ""
+
+    @property
+    def ratio(self) -> float | None:
+        """``actual / estimated`` — the misestimation ratio (1.0 = perfect).
+
+        ``None`` when either side is missing or the estimate is zero.
+        """
+        if self.estimated is None or self.actual is None or self.estimated == 0:
+            return None
+        return self.actual / self.estimated
+
+
+@dataclass(frozen=True)
+class PlanAnalysis:
+    """The full EXPLAIN ANALYZE report of one executed plan."""
+
+    plan: Plan
+    rows: tuple[AnalyzedRow, ...]
+    phases: tuple[PhaseStats, ...]
+
+    def accuracy_metrics(self, prefix: str = "planner.") -> dict[str, float]:
+        """Misestimation ratios as flat metrics (``planner.*_ratio``).
+
+        Feed these to :meth:`MetricsRegistry.record_many` so a session's
+        metrics dump carries the cost model's accuracy next to its
+        outputs.
+        """
+        return {
+            f"{prefix}{row.metric}_ratio": ratio
+            for row in self.rows
+            if (ratio := row.ratio) is not None
+        }
+
+    def render(self) -> str:
+        """The report as an aligned monospace table plus phase actuals."""
+        mode = "adaptive" if self.plan.adaptive else "pinned"
+        lines = [f"EXPLAIN ANALYZE: {self.plan.label}  [{mode}]"]
+        header = f"  {'metric':<28} {'estimated':>14} {'actual':>14} {'ratio':>8}"
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for row in self.rows:
+            estimated = f"{row.estimated:.4g}" if row.estimated is not None else "-"
+            actual = f"{row.actual:.4g}" if row.actual is not None else "-"
+            ratio = f"{row.ratio:.2f}x" if row.ratio is not None else "-"
+            metric = f"{row.metric} [{row.unit}]" if row.unit else row.metric
+            lines.append(f"  {metric:<28} {estimated:>14} {actual:>14} {ratio:>8}")
+        if self.plan.estimates:
+            rendered = ", ".join(
+                f"{name}={value:g}" for name, value in self.plan.estimates
+            )
+            lines.append(f"  cost-model inputs: {rendered}")
+        if self.phases:
+            lines.append("  phases (actual):")
+            for phase in self.phases:
+                delta = (
+                    f"  ΔDT {phase.dominance_tests:.0f}"
+                    if phase.dominance_tests
+                    else ""
+                )
+                indent = "  " * phase.depth
+                lines.append(
+                    f"    {indent}{phase.name:<24} {phase.wall_s * 1e3:10.3f} ms"
+                    f"{delta}"
+                )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def analyze(result: "SkylineResult") -> PlanAnalysis:
+    """The EXPLAIN ANALYZE report for an engine-executed ``result``.
+
+    Requires ``result.plan`` (every :meth:`SkylineEngine.execute` result
+    has one); the phase section additionally needs ``result.trace`` (a
+    live tracer on the engine's context), and estimate rows need the
+    signals adaptive planning records — pinned plans, which by contract
+    never consult the estimator, produce actual-only rows.
+    """
+    plan = result.plan
+    if plan is None:
+        raise InvalidParameterError(
+            "result carries no plan to analyze — execute through "
+            "SkylineEngine (direct algorithm calls are plan-less)"
+        )
+    signals = dict(plan.signals)
+    rows: list[AnalyzedRow] = []
+
+    expected_skyline = signals.get("expected_skyline")
+    rows.append(
+        AnalyzedRow(
+            metric="skyline_size",
+            estimated=expected_skyline,
+            actual=float(result.size),
+            unit="points",
+        )
+    )
+
+    # The planner's dominance-test scale: the repair estimate for
+    # incremental plans, else the n*d recompute scale it weighs full scans
+    # by (available whenever adaptive signals were recorded).
+    estimated_tests: float | None = None
+    if plan.incremental:
+        estimated_tests = plan.repair_cost
+    elif plan.pending_mutations:
+        estimated_tests = plan.recompute_cost
+    elif "n" in signals and "d" in signals:
+        estimated_tests = signals["n"] * signals["d"]
+    rows.append(
+        AnalyzedRow(
+            metric="dominance_tests",
+            estimated=estimated_tests,
+            actual=float(result.dominance_tests),
+            unit="tests",
+        )
+    )
+
+    phases: tuple[PhaseStats, ...] = ()
+    if result.trace is not None:
+        phases = tuple(aggregate_phases(result.trace))
+
+    if plan.incremental:
+        # Per-phase accountability: the repair estimate against the tests
+        # the engine.repair phase actually charged (when traced).
+        repair_actual = next(
+            (
+                phase.dominance_tests
+                for phase in phases
+                if phase.name == "engine.repair"
+            ),
+            None,
+        )
+        rows.append(
+            AnalyzedRow(
+                metric="repair_cost",
+                estimated=plan.repair_cost,
+                actual=repair_actual,
+                unit="tests",
+            )
+        )
+    elif plan.pending_mutations:
+        rows.append(
+            AnalyzedRow(
+                metric="repair_cost_rejected",
+                estimated=plan.repair_cost,
+                actual=None,
+                unit="tests",
+            )
+        )
+
+    rows.append(
+        AnalyzedRow(
+            metric="wall_time",
+            estimated=None,
+            actual=result.elapsed_seconds,
+            unit="s",
+        )
+    )
+
+    return PlanAnalysis(plan=plan, rows=tuple(rows), phases=phases)

@@ -19,6 +19,8 @@ import numpy as np
 from repro.dataset import Dataset, as_dataset
 from repro.engine.prepared import PreparedDataset
 from repro.errors import InvalidParameterError
+from repro.obs.events import NULL_EVENT_LOG, EventLogLike
+from repro.obs.histogram import LogHistogram
 from repro.obs.trace import NULL_TRACER, TracerLike
 from repro.stats.counters import DominanceCounter
 
@@ -48,12 +50,24 @@ class ExecutionContext:
         bit-identical and allocation-free.  The engine activates this
         tracer around every ``execute`` and drains it into
         ``SkylineResult.trace``.
+    events:
+        The session's :class:`~repro.obs.events.EventLog`; defaults to the
+        no-op :data:`~repro.obs.events.NULL_EVENT_LOG`.  The engine
+        activates it around every ``execute``/``apply_delta`` and emits
+        query/plan/delta lifecycle events into it; deep layers (prepared
+        caches, the worker pool) emit through the ambient
+        :func:`~repro.obs.events.current_event_log`.
 
     Attributes
     ----------
     counter:
         Session-wide aggregate counter; every recorded run's tallies are
         absorbed into it.
+    histograms:
+        Session-wide :class:`~repro.obs.histogram.LogHistogram` per
+        observed metric (``query.wall_s``, ``query.dominance_tests``,
+        ``query.skyline_size``), fed by :meth:`observe` on every engine
+        execution — the tail-latency view of the session.
     """
 
     def __init__(
@@ -61,6 +75,7 @@ class ExecutionContext:
         max_prepared: int = _MAX_PREPARED,
         workers: int | None = None,
         tracer: TracerLike = NULL_TRACER,
+        event_log: EventLogLike = NULL_EVENT_LOG,
     ) -> None:
         if max_prepared < 1:
             raise InvalidParameterError(
@@ -68,6 +83,8 @@ class ExecutionContext:
             )
         self.counter = DominanceCounter()
         self.tracer = tracer
+        self.events = event_log
+        self.histograms: dict[str, LogHistogram] = {}
         self.runs_recorded = 0
         self.deltas_recorded = 0
         self._max_prepared = max_prepared
@@ -144,6 +161,24 @@ class ExecutionContext:
         """Absorb one mutation's tallies; counted apart from query runs."""
         self.counter.absorb(counter)
         self.deltas_recorded += 1
+
+    # -- histograms ---------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one sample to the session histogram named ``name``.
+
+        Histograms are created on first observation; like the aggregate
+        counter they accumulate for the context's whole lifetime, so the
+        p99 they report covers every query of the session.
+        """
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = LogHistogram()
+        histogram.add(value)
+
+    def histogram(self, name: str) -> LogHistogram | None:
+        """The session histogram named ``name``, or ``None`` if unobserved."""
+        return self.histograms.get(name)
 
     # -- worker pool --------------------------------------------------------
 

@@ -117,10 +117,19 @@ class SkylineEngine:
         notes its skyline on the prepared dataset as the next repair base.
         """
         tracer = self.context.tracer
+        events = self.context.events
         run_counter = self.context.run_counter(counter)
-        with tracer.activate():
+        with tracer.activate(), events.activate():
             with tracer.span("prepare", counter=run_counter):
                 prepared = self.prepare(data)
+            if events.enabled:
+                events.emit(
+                    "query.start",
+                    dataset=prepared.dataset.name,
+                    n=prepared.cardinality,
+                    d=prepared.dimensionality,
+                    algorithm=algorithm if algorithm is not None else "auto",
+                )
             if plan is None:
                 with tracer.span("plan", counter=run_counter) as plan_span:
                     plan = self.planner.plan(
@@ -140,6 +149,16 @@ class SkylineEngine:
                     plan_span.set(label=plan.label)
 
             executed: Plan = plan
+            if events.enabled:
+                events.emit(
+                    "plan.chosen",
+                    label=executed.label,
+                    adaptive=executed.adaptive,
+                    incremental=executed.incremental,
+                    index_backend=executed.index_backend,
+                    workers=executed.workers,
+                    parallel_strategy=executed.parallel_strategy,
+                )
 
             def body(dataset: Dataset, body_counter: DominanceCounter) -> list[int]:
                 with tracer.span(
@@ -160,8 +179,21 @@ class SkylineEngine:
             # incremental run this matches the rebased stream state, so the
             # note is a no-op that keeps the replay stream warm.
             prepared.note_skyline(result.indices)
+            if events.enabled:
+                events.emit(
+                    "query.finish",
+                    label=executed.label,
+                    wall_s=result.elapsed_seconds,
+                    dominance_tests=int(result.dominance_tests),
+                    skyline_size=result.size,
+                )
         result = replace(result, plan=executed, trace=tracer.drain())
         self.context.record(run_counter)
+        # Session tail-latency accounting: every execution feeds the
+        # context histograms (observation-only — three adds per query).
+        self.context.observe("query.wall_s", result.elapsed_seconds)
+        self.context.observe("query.dominance_tests", float(result.dominance_tests))
+        self.context.observe("query.skyline_size", float(result.size))
         return result
 
     def apply_delta(
@@ -181,12 +213,22 @@ class SkylineEngine:
         object itself — finds the repaired caches instead of preparing the
         stale pre-delta array from scratch.
         """
+        events = self.context.events
         run_counter = self.context.run_counter(counter)
-        with self.context.tracer.activate():
+        with self.context.tracer.activate(), events.activate():
             prepared = self.prepare(data)
             report = prepared.apply_delta(
                 inserts, deletes, counter=run_counter, mode=mode
             )
+            if events.enabled:
+                events.emit(
+                    "delta.apply",
+                    dataset=prepared.dataset.name,
+                    mode=report.mode,
+                    inserted=report.inserted,
+                    deleted=report.deleted,
+                    version=report.version,
+                )
         self.context.rebind(prepared)
         self.context.record_delta(run_counter)
         return report
@@ -201,6 +243,14 @@ class SkylineEngine:
         counter: DominanceCounter,
     ) -> list[int]:
         if plan.incremental:
+            events = self.context.events
+            if events.enabled:
+                events.emit(
+                    "delta.repair",
+                    dataset=prepared.dataset.name,
+                    pending=plan.pending_mutations,
+                    backend=plan.index_backend,
+                )
             with self.context.tracer.span(
                 "engine.repair",
                 counter=counter,

@@ -11,6 +11,13 @@ determinism is testable as plain equality.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import InvalidParameterError
+
+if TYPE_CHECKING:
+    from repro.algorithms.base import SkylineResult
+    from repro.engine.analyze import PlanAnalysis
 
 __all__ = ["Plan"]
 
@@ -72,6 +79,13 @@ class Plan:
         The cost model's dominance-test estimates for replaying the delta
         log versus recomputing from scratch — the inputs behind the
         repair-vs-recompute decision shown by :meth:`explain`.
+    estimates:
+        The ``(name, value)`` cost-model inputs the decision was weighed
+        against — the backend/parallel cardinality thresholds, correlation
+        cutoffs and per-op repair cost constants in force when the plan
+        was made.  Recorded so :meth:`analyze` can show the estimates next
+        to measured actuals after execution; empty for pinned plans (which
+        never consult the cost model).
     host_options:
         Constructor keyword arguments for the host, as sorted pairs.
     signals:
@@ -97,6 +111,7 @@ class Plan:
     delta_fraction: float = 0.0
     repair_cost: float = 0.0
     recompute_cost: float = 0.0
+    estimates: tuple[tuple[str, float], ...] = ()
     host_options: tuple[tuple[str, object], ...] = ()
     signals: tuple[tuple[str, float], ...] = field(default=(), compare=True)
     reasons: tuple[str, ...] = ()
@@ -179,6 +194,23 @@ class Plan:
         for reason in self.reasons:
             lines.append(f"  - {reason}")
         return "\n".join(lines)
+
+    def analyze(self, result: "SkylineResult") -> "PlanAnalysis":
+        """EXPLAIN ANALYZE: this plan's estimates against ``result``'s actuals.
+
+        ``result`` must come from executing this plan (checked by
+        equality).  Imported lazily so the plain ``explain`` path never
+        loads the analysis machinery.
+        """
+        # Imported lazily: analyze pulls in the obs phase aggregation.
+        from repro.engine.analyze import analyze as run_analyze
+
+        if result.plan is not None and result.plan != self:
+            raise InvalidParameterError(
+                "result was executed under a different plan "
+                f"({result.plan.label!r}, not {self.label!r})"
+            )
+        return run_analyze(result)
 
     def _explain_delta(self, lines: list[str]) -> None:
         """Append the repair-vs-recompute decision and its cost inputs."""

@@ -319,10 +319,22 @@ class Planner:
             ("correlation", stats.correlation),
             ("expected_skyline", stats.expected_skyline),
         )
+        # The cost-model inputs this decision is weighed against, recorded
+        # on the plan so EXPLAIN ANALYZE can line estimates up with
+        # post-execution actuals.  Pinned plans never consult these.
+        estimates = (
+            ("small_n_threshold", float(_SMALL_N)),
+            ("high_d_threshold", float(_HIGH_D)),
+            ("correlated_cutoff", _CORRELATED_CUTOFF),
+            ("flat_n_threshold", float(_FLAT_N)),
+            ("flat_d_threshold", float(_FLAT_D)),
+            ("parallel_n_threshold", float(_PARALLEL_N)),
+            ("repair_op_cost", _REPAIR_OP_COST),
+        )
         reasons: list[str] = []
 
         delta = self._consider_incremental(
-            prepared, stats, incremental, index_backend, signals, reasons
+            prepared, stats, incremental, index_backend, signals, estimates, reasons
         )
         if isinstance(delta, Plan):
             return delta
@@ -357,6 +369,7 @@ class Planner:
             delta_fraction=fraction,
             repair_cost=repair_cost,
             recompute_cost=recompute_cost,
+            estimates=estimates,
             host_options=host_options,
             signals=signals,
             reasons=tuple(reasons),
@@ -369,6 +382,7 @@ class Planner:
         incremental: bool | None,
         index_backend: str | None,
         signals: tuple[tuple[str, float], ...],
+        estimates: tuple[tuple[str, float], ...],
         reasons: list[str],
     ) -> "Plan | tuple[int, float, float, float]":
         """Decide repair vs recompute for a pending delta.
@@ -436,6 +450,7 @@ class Planner:
             delta_fraction=state.fraction,
             repair_cost=repair_cost,
             recompute_cost=recompute_cost,
+            estimates=estimates,
             signals=signals,
             reasons=tuple(reasons),
         )

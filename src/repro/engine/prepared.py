@@ -48,6 +48,7 @@ from repro.engine.delta import (
     repair_merge_result,
 )
 from repro.errors import InvalidParameterError
+from repro.obs.events import current_event_log
 from repro.obs.trace import current_tracer
 from repro.stats.counters import DominanceCounter
 from repro.stats.estimate import (
@@ -658,6 +659,18 @@ class PreparedDataset:
         forgotten too: an explicit invalidation signals that the data
         changed through a side door no delta log covers.
         """
+        events = current_event_log()
+        if events.enabled:
+            dropped = self.cache_info()
+            events.emit(
+                "cache.invalidate",
+                dataset=self.dataset.name,
+                version=self.version + 1,
+                merge=dropped["merge"],
+                sort=dropped["sort"],
+                views=dropped["views"],
+                artefacts=dropped["artefacts"],
+            )
         for view in self._view_cache.values():
             view.invalidate()  # type: ignore[attr-defined]
         self._column_major = None

@@ -84,6 +84,9 @@ from repro.core.prefix import (
 from repro.core.stability import default_threshold
 from repro.dataset import Dataset, as_dataset
 from repro.errors import InvalidParameterError
+from repro.obs.clock import Stopwatch
+from repro.obs.events import current_event_log
+from repro.obs.histogram import LogHistogram
 from repro.obs.trace import current_tracer
 from repro.stats.counters import DominanceCounter
 
@@ -168,8 +171,8 @@ def _shm_local_skyline(
         np.ndarray | None,
         bool,
     ],
-) -> tuple[np.ndarray, int, int]:
-    """Worker: global survivor ids, test count and pruned count of one block.
+) -> tuple[np.ndarray, int, int, float]:
+    """Worker: survivor ids, test count, pruned count and wall time of one block.
 
     The block is sliced (or gathered through the shared scan order) out of
     the shared segments and copied before they are detached, so the compute
@@ -180,6 +183,10 @@ def _shm_local_skyline(
     scan entirely: its survivors are skyline-dense, so a local scan would
     re-verify points the seeded merge must scan against the head-block
     seeds anyway — the filter is the block's whole map-phase contribution.
+
+    The returned wall time covers the worker-side body (segment slice,
+    prefix filter, local scan); the parent folds the per-block times into
+    the pool's mergeable block-latency histogram.
     """
     (
         shm_name,
@@ -193,6 +200,7 @@ def _shm_local_skyline(
         prefix,
         defer,
     ) = args
+    watch = Stopwatch()
     # Pool workers (fork or spawn) inherit the owner's resource tracker,
     # so attaching re-registers the already-registered name — a set-level
     # no-op.  The owner alone unlinks, on eviction, close() or atexit;
@@ -226,13 +234,13 @@ def _shm_local_skyline(
             block = block[keep]
             ids = ids[keep]
     if block.shape[0] == 0:
-        return np.empty(0, dtype=np.intp), counter.tests, pruned
+        return np.empty(0, dtype=np.intp), counter.tests, pruned, watch.elapsed()
     if defer and block.shape[0] <= rows * _DEFER_SURVIVOR_FRACTION:
-        return ids, counter.tests, pruned
+        return ids, counter.tests, pruned, watch.elapsed()
     result = _resolve(algorithm, index_backend).compute(
         Dataset(block), counter=counter
     )
-    return ids[result.indices], counter.tests, pruned
+    return ids[result.indices], counter.tests, pruned, watch.elapsed()
 
 
 def _resolve(algorithm: str, index_backend: str) -> "SkylineAlgorithm | SubsetBoost":
@@ -260,6 +268,12 @@ class SkylineWorkerPool:
         ``segments_reused``, ``order_segments_created`` and
         ``tasks_dispatched`` — so tests and benchmarks can assert that
         repeated calls re-pickle nothing.
+    block_histogram:
+        A :class:`~repro.obs.histogram.LogHistogram` of per-block worker
+        wall times across every dispatch this pool served.  Per-call
+        histograms merge in losslessly (:meth:`observe_block_times`), so
+        the pool-lifetime p99 equals the histogram of every block ever
+        timed.
     """
 
     def __init__(
@@ -293,6 +307,17 @@ class SkylineWorkerPool:
             "order_segments_created": 0,
             "tasks_dispatched": 0,
         }
+        self.block_histogram = LogHistogram()
+
+    def observe_block_times(self, histogram: LogHistogram) -> None:
+        """Merge one dispatch's per-block wall-time histogram into the pool's.
+
+        Bucket layouts are identical (both default-constructed), so the
+        merge is lossless: the pool histogram equals one histogram over
+        the concatenation of every block time ever observed.
+        """
+        with self._lock:
+            self.block_histogram.merge(histogram)
 
     @property
     def processes(self) -> int:
@@ -380,8 +405,9 @@ class SkylineWorkerPool:
         defer_tail: bool = False,
         head_blocks: int = 1,
         processes: int | None = None,
-    ) -> list[tuple[np.ndarray, int, int]]:
-        """Survivor ids of each ``(lo, hi)`` block, with test/pruned counts.
+    ) -> list[tuple[np.ndarray, int, int, float]]:
+        """Survivor ids of each ``(lo, hi)`` block, with test/pruned counts
+        and the block's worker-side wall time.
 
         ``order`` switches the blocks from row ranges to ranges of the
         shared scan order; ``prefix`` rows filter every block worker-side
@@ -704,6 +730,16 @@ def parallel_skyline(
             ] + pairs[1:]
             head_blocks = splits
     pool = pool if pool is not None else get_pool(workers)
+    events = current_event_log()
+    if events.enabled:
+        events.emit(
+            "pool.dispatch",
+            blocks=len(pairs),
+            workers=workers,
+            algorithm=algorithm,
+            partition=partition,
+            n=n,
+        )
     with tracer.span(
         "parallel.map",
         counter=counter,
@@ -728,13 +764,22 @@ def parallel_skyline(
         )
         parts: list[np.ndarray] = []
         pruned_total = 0
-        for block_ids, tests, pruned in locals_:
+        block_times = LogHistogram()
+        for block_ids, tests, pruned, block_wall_s in locals_:
             counter.add(tests)
             parts.append(block_ids)
             pruned_total += pruned
+            block_times.add(block_wall_s)
+        # Per-block latencies merge losslessly into the pool-lifetime
+        # histogram (identical bucket layouts), so pool.block_histogram
+        # reports the true p99 across every dispatch it ever served.
+        pool.observe_block_times(block_times)
         candidates = assemble_candidates(parts)
         map_span.set(
-            candidates=int(candidates.size), pruned_by_prefix=pruned_total
+            candidates=int(candidates.size),
+            pruned_by_prefix=pruned_total,
+            block_wall_p50_s=block_times.quantile(0.5),
+            block_wall_max_s=block_times.max,
         )
 
     if len(parts) == 1:

@@ -12,9 +12,20 @@ the numbers being observed:
 - :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` flattening counter
   tallies, cache hit rates, worker-pool reuse stats and per-phase timings
   into one ``dict[str, float]``;
+- :mod:`repro.obs.histogram` — mergeable log-bucketed
+  :class:`LogHistogram` for tail-latency quantiles (p50/p90/p99) over
+  wall time, charged dominance tests and skyline sizes;
+- :mod:`repro.obs.events` — a ring-buffered structured :class:`EventLog`
+  (plus the allocation-free :class:`NullEventLog` default) recording
+  query/plan/cache/delta/pool lifecycle events as JSONL, with a
+  threshold-based slow-query side ring;
 - :mod:`repro.obs.export` — Chrome trace-event JSON
   (``chrome://tracing``-loadable), plain-JSON metrics dumps and an ASCII
   phase-breakdown table;
+- :mod:`repro.obs.exposition` — Prometheus text-format exposition of
+  metrics gauges and histogram bucket series;
+- :mod:`repro.obs.regress` — the noise-tolerant bench-trajectory
+  regression gate behind ``make bench-check``;
 - :mod:`repro.obs.clock` — the sanctioned raw-clock call sites (lint rule
   RPR006 forbids ``time.perf_counter()`` elsewhere).
 
@@ -26,6 +37,14 @@ ids and charged dominance tests are bit-identical (enforced by the
 from __future__ import annotations
 
 from repro.obs.clock import Stopwatch, timed
+from repro.obs.events import (
+    NULL_EVENT_LOG,
+    Event,
+    EventLog,
+    EventLogLike,
+    NullEventLog,
+    current_event_log,
+)
 from repro.obs.export import (
     phase_table,
     to_chrome_trace,
@@ -33,6 +52,12 @@ from repro.obs.export import (
     write_chrome_trace,
     write_metrics,
 )
+from repro.obs.exposition import (
+    prometheus_name,
+    to_prometheus,
+    write_prometheus,
+)
+from repro.obs.histogram import LogHistogram
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import (
     NULL_TRACER,
@@ -47,8 +72,14 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "Event",
+    "EventLog",
+    "EventLogLike",
+    "LogHistogram",
     "MetricsRegistry",
+    "NULL_EVENT_LOG",
     "NULL_TRACER",
+    "NullEventLog",
     "NullTracer",
     "PhaseStats",
     "Span",
@@ -57,11 +88,15 @@ __all__ = [
     "Tracer",
     "TracerLike",
     "aggregate_phases",
+    "current_event_log",
     "current_tracer",
     "phase_table",
+    "prometheus_name",
     "timed",
     "to_chrome_trace",
+    "to_prometheus",
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_metrics",
+    "write_prometheus",
 ]

@@ -1,0 +1,221 @@
+"""Ring-buffered structured event log with a slow-query side channel.
+
+Traces answer "where did this run spend its time"; the event log answers
+"what happened to this session, in order": query start/finish, the plan
+the planner chose, cache invalidations, delta repairs, worker-pool
+dispatches.  Events are small structured records (name + flat fields +
+wall-clock offset) held in a bounded ring buffer, exportable as JSONL —
+one ``json.loads``-able object per line — for ingestion by log pipelines.
+
+Queries whose ``query.finish`` event reports a wall time at or above the
+configured threshold are additionally retained in a separate slow-query
+ring, so a long session keeps its pathological tail even after the main
+ring has rotated.
+
+The *current* event log is ambient (a :mod:`contextvars` variable),
+mirroring :func:`repro.obs.trace.current_tracer`: deep layers —
+:meth:`PreparedDataset.invalidate`, the worker pool's dispatch — emit
+without threading a log through every signature, and code running outside
+an activation sees :data:`NULL_EVENT_LOG`, whose :meth:`emit` is a no-op
+(call sites gate field construction on :attr:`EventLog.enabled`, so the
+disabled path performs no per-event allocation).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+from typing import Iterator, Mapping, Union
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "Event",
+    "EventLog",
+    "EventLogLike",
+    "NULL_EVENT_LOG",
+    "NullEventLog",
+    "current_event_log",
+]
+
+#: Events retained in the main ring before the oldest rotates out.
+_DEFAULT_CAPACITY = 1024
+
+#: Slow queries retained; sized smaller — they should be rare.
+_DEFAULT_SLOW_CAPACITY = 128
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured event: name, flat fields, session-relative time."""
+
+    ts_s: float
+    name: str
+    fields: Mapping[str, object]
+
+    def to_json(self) -> str:
+        """The event as one JSONL line (non-JSON field values stringified)."""
+        payload: dict[str, object] = {
+            "ts_s": round(self.ts_s, 6),
+            "event": self.name,
+        }
+        payload.update(self.fields)
+        return json.dumps(payload, default=str)
+
+
+class EventLog:
+    """A bounded, ordered record of session events.
+
+    Parameters
+    ----------
+    capacity:
+        Main ring size; the oldest event rotates out beyond it.
+    slow_query_s:
+        Wall-time threshold (seconds): a ``query.finish`` event whose
+        ``wall_s`` field is at or above it is also kept in the slow-query
+        ring.  ``None`` disables the side channel.
+    slow_capacity:
+        Slow-query ring size.
+
+    >>> log = EventLog(slow_query_s=0.5)
+    >>> _ = log.emit("query.start", n=100)
+    >>> _ = log.emit("query.finish", wall_s=0.75)
+    >>> [event.name for event in log.slow_queries()]
+    ['query.finish']
+    """
+
+    enabled: bool = True
+
+    def __init__(
+        self,
+        capacity: int = _DEFAULT_CAPACITY,
+        slow_query_s: float | None = None,
+        slow_capacity: int = _DEFAULT_SLOW_CAPACITY,
+    ) -> None:
+        if capacity < 1:
+            raise InvalidParameterError(f"capacity must be >= 1, got {capacity}")
+        if slow_query_s is not None and slow_query_s < 0:
+            raise InvalidParameterError(
+                f"slow_query_s must be >= 0, got {slow_query_s}"
+            )
+        self.slow_query_s = slow_query_s
+        self._origin = perf_counter()
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self._slow: deque[Event] = deque(maxlen=max(1, slow_capacity))
+        self.emitted = 0
+
+    def emit(self, name: str, **fields: object) -> Event:
+        """Record one event; returns it (mainly for tests)."""
+        event = Event(ts_s=perf_counter() - self._origin, name=name, fields=fields)
+        self._events.append(event)
+        self.emitted += 1
+        if (
+            self.slow_query_s is not None
+            and name == "query.finish"
+            and float(fields.get("wall_s", 0.0)) >= self.slow_query_s  # type: ignore[arg-type]
+        ):
+            self._slow.append(event)
+        return event
+
+    def events(self) -> list[Event]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def slow_queries(self) -> list[Event]:
+        """The retained slow ``query.finish`` events, oldest first."""
+        return list(self._slow)
+
+    def to_jsonl(self) -> str:
+        """Retained events as JSONL (one object per line; '' when empty)."""
+        if not self._events:
+            return ""
+        return "\n".join(event.to_json() for event in self._events) + "\n"
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Write :meth:`to_jsonl` output to ``path``; returns it."""
+        target = Path(path)
+        target.write_text(self.to_jsonl(), encoding="utf-8")
+        return target
+
+    @contextmanager
+    def activate(self) -> Iterator["EventLog"]:
+        """Install this log as the ambient :func:`current_event_log`."""
+        token = _CURRENT.set(self)
+        try:
+            yield self
+        finally:
+            _CURRENT.reset(token)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return f"EventLog(events={len(self._events)}, emitted={self.emitted})"
+
+
+class _NullActivation:
+    """Shared no-op context manager of the null event log."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullActivation":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_ACTIVATION = _NullActivation()
+
+
+class NullEventLog:
+    """The disabled event log: every operation is a no-op.
+
+    ``activate()`` returns one process-wide shared context manager and
+    ``emit()`` returns ``None`` without recording, so the disabled path
+    performs no per-event allocation — call sites additionally gate their
+    field construction on :attr:`enabled` (``False`` here).
+    """
+
+    enabled: bool = False
+
+    __slots__ = ()
+
+    def emit(self, name: str, **fields: object) -> None:
+        return None
+
+    def events(self) -> list[Event]:
+        return []
+
+    def slow_queries(self) -> list[Event]:
+        return []
+
+    def to_jsonl(self) -> str:
+        return ""
+
+    def activate(self) -> _NullActivation:
+        return _NULL_ACTIVATION
+
+    def __repr__(self) -> str:
+        return "NullEventLog()"
+
+
+#: The process-wide disabled log; also the default ambient event log.
+NULL_EVENT_LOG = NullEventLog()
+
+EventLogLike = Union[EventLog, NullEventLog]
+
+_CURRENT: ContextVar[EventLogLike] = ContextVar(
+    "repro_obs_event_log", default=NULL_EVENT_LOG
+)
+
+
+def current_event_log() -> EventLogLike:
+    """The ambient event log: the innermost :meth:`EventLog.activate`,
+    else :data:`NULL_EVENT_LOG`."""
+    return _CURRENT.get()

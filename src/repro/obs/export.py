@@ -14,7 +14,7 @@ import json
 from pathlib import Path
 
 from repro.errors import InvalidParameterError
-from repro.obs.trace import Span, Trace, aggregate_phases
+from repro.obs.trace import PhaseStats, Span, Trace, aggregate_phases
 
 __all__ = [
     "phase_table",
@@ -111,17 +111,57 @@ def validate_chrome_trace(document: object) -> int:
     return len(events)
 
 
-def phase_table(trace: Trace, width: int = 24) -> str:
-    """Render a per-phase breakdown: calls, wall time, share, ΔDT, bars.
+def _hit_rate(delta: dict[str, float], kind: str) -> str:
+    """A phase's ``{kind}_cache`` hit rate as a 4-char cell ('' if idle)."""
+    hits = delta.get(f"{kind}_cache_hits", 0.0)
+    misses = delta.get(f"{kind}_cache_misses", 0.0)
+    lookups = hits + misses
+    if not lookups:
+        return " " * 4
+    return f"{hits / lookups * 100.0:3.0f}%"
 
-    Phase rows are indented by tree depth; sibling spans with the same
+
+def _sorted_by_wall(phases: list[PhaseStats]) -> list[PhaseStats]:
+    """Phases re-ordered so siblings descend by wall time, depth-first.
+
+    The tree shape is preserved (children still follow their parent);
+    only the order *among siblings* changes, so the slowest subtree reads
+    first — the triage order a latency investigation wants.
+    """
+    children: dict[tuple[str, ...], list[PhaseStats]] = {}
+    for phase in phases:
+        children.setdefault(phase.path[:-1], []).append(phase)
+
+    ordered: list[PhaseStats] = []
+
+    def emit(parent: tuple[str, ...]) -> None:
+        for phase in sorted(
+            children.get(parent, ()), key=lambda p: p.wall_s, reverse=True
+        ):
+            ordered.append(phase)
+            emit(phase.path)
+
+    emit(())
+    return ordered
+
+
+def phase_table(trace: Trace, width: int = 24) -> str:
+    """Render a per-phase breakdown: calls, wall time, share, ΔDT, cache
+    hit rates, bars.
+
+    Phase rows are indented by tree depth with siblings sorted by wall
+    time descending (slowest subtree first); sibling spans with the same
     name are aggregated (23 ``merge.round`` records collapse to one row
-    with ``calls=23``).  Bars are ``#`` runs scaled to the slowest phase,
-    matching :func:`repro.bench.ascii_chart.bar_chart`.
+    with ``calls=23``).  The ``idx%``/``prep%`` columns are the phase's
+    subset-index and prepared-cache hit rates, computed from the
+    :meth:`DominanceCounter.as_dict` deltas captured at span boundaries
+    (blank when the phase performed no lookups).  Bars are ``#`` runs
+    scaled to the slowest phase, matching
+    :func:`repro.bench.ascii_chart.bar_chart`.
     """
     if width < 1:
         raise InvalidParameterError(f"width must be >= 1, got {width}")
-    phases = aggregate_phases(trace)
+    phases = _sorted_by_wall(aggregate_phases(trace))
     if not phases:
         return "(empty trace)"
     total = sum(phase.wall_s for phase in phases if phase.depth == 0) or 1.0
@@ -132,7 +172,7 @@ def phase_table(trace: Trace, width: int = 24) -> str:
     name_width = max(name_width, len("phase"))
     header = (
         f"{'phase'.ljust(name_width)}  {'calls':>6}  {'wall ms':>10}  "
-        f"{'%':>6}  {'ΔDT':>12}  "
+        f"{'%':>6}  {'ΔDT':>12}  {'idx%':>4}  {'prep%':>5}  "
     )
     lines = [header.rstrip(), "-" * (len(header) + width)]
     for phase in phases:
@@ -140,8 +180,11 @@ def phase_table(trace: Trace, width: int = 24) -> str:
         share = phase.wall_s / total * 100.0
         bar = "#" * max(1, round(phase.wall_s / peak * width)) if phase.wall_s else ""
         delta = f"{phase.dominance_tests:12.0f}" if phase.dominance_tests else " " * 12
+        index_rate = _hit_rate(phase.counter_delta, "index")
+        prepared_rate = _hit_rate(phase.counter_delta, "prepared")
         lines.append(
             f"{label.ljust(name_width)}  {phase.calls:6d}  "
-            f"{phase.wall_s * 1e3:10.3f}  {share:6.1f}  {delta}  {bar}".rstrip()
+            f"{phase.wall_s * 1e3:10.3f}  {share:6.1f}  {delta}  "
+            f"{index_rate:>4}  {prepared_rate:>5}  {bar}".rstrip()
         )
     return "\n".join(lines)

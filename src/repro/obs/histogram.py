@@ -1,0 +1,246 @@
+"""Mergeable log-bucketed histograms for tail-latency accounting.
+
+The bench tables report means, but a serving-grade deployment (ROADMAP's
+``repro.serve``) is judged on its tails: p99 wall time, worst-case charged
+dominance tests, skyline-size blowups.  :class:`LogHistogram` records a
+stream of non-negative samples into geometrically spaced buckets so that
+
+- quantile estimates carry a *bounded relative error* (one bucket width,
+  i.e. a factor of :attr:`LogHistogram.growth`) at O(buckets) memory,
+- two histograms over disjoint sample sets **merge losslessly**: buckets
+  align exactly when ``growth`` and ``min_value`` agree, so the merge of
+  per-block worker histograms equals the histogram of the concatenated
+  samples, bucket for bucket (the property the parallel map phase relies
+  on), and
+- the whole state round-trips through plain JSON (:meth:`to_dict` /
+  :meth:`from_dict`) for cross-process transport and metric exposition.
+
+Bucket layout: bucket ``0`` is ``(0, min_value]``; bucket ``i >= 1`` is
+``(min_value * growth**(i-1), min_value * growth**i]``.  Zero and negative
+samples land in a dedicated zero bucket (they order before everything).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["LogHistogram"]
+
+#: Default bucket growth: four buckets per doubling — a quantile estimate
+#: is within ~19% relative error of the exact order statistic.
+_DEFAULT_GROWTH = 2.0 ** 0.25
+
+#: Default resolution floor: samples at or below this value share bucket 0.
+#: 1 µs is far below every wall time the stack can measure meaningfully.
+_DEFAULT_MIN_VALUE = 1e-6
+
+
+class LogHistogram:
+    """Counts of samples in geometric buckets, with quantile estimation.
+
+    >>> histogram = LogHistogram()
+    >>> for value in (0.01, 0.02, 0.04, 0.08, 0.8):
+    ...     histogram.add(value)
+    >>> histogram.count
+    5
+    >>> 0.03 <= histogram.quantile(0.5) <= 0.05
+    True
+    """
+
+    __slots__ = ("growth", "min_value", "_buckets", "_zero", "count", "total", "_min", "_max")
+
+    def __init__(
+        self,
+        growth: float = _DEFAULT_GROWTH,
+        min_value: float = _DEFAULT_MIN_VALUE,
+    ) -> None:
+        if growth <= 1.0:
+            raise InvalidParameterError(f"growth must be > 1, got {growth}")
+        if min_value <= 0.0:
+            raise InvalidParameterError(f"min_value must be > 0, got {min_value}")
+        self.growth = float(growth)
+        self.min_value = float(min_value)
+        self._buckets: dict[int, int] = {}
+        self._zero = 0
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # -- recording ----------------------------------------------------------
+
+    def bucket_index(self, value: float) -> int:
+        """The bucket holding ``value`` (``-1`` for the zero bucket)."""
+        if value <= 0.0:
+            return -1
+        if value <= self.min_value:
+            return 0
+        return 1 + int(
+            math.floor(math.log(value / self.min_value) / math.log(self.growth))
+        )
+
+    def bucket_bounds(self, index: int) -> tuple[float, float]:
+        """The ``(low, high]`` value range of bucket ``index``."""
+        if index < 0:
+            return (0.0, 0.0)
+        if index == 0:
+            return (0.0, self.min_value)
+        return (
+            self.min_value * self.growth ** (index - 1),
+            self.min_value * self.growth ** index,
+        )
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if value <= 0.0:
+            self._zero += 1
+            return
+        index = self.bucket_index(value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def add_many(self, values: Iterable[float]) -> None:
+        """Record a batch of samples."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Absorb ``other``'s samples — lossless when layouts match.
+
+        Raises :class:`InvalidParameterError` when ``growth`` or
+        ``min_value`` differ: misaligned buckets cannot merge without
+        resampling, and silent approximation would break the
+        per-block-equals-concatenated invariant the worker pool asserts.
+        """
+        if (other.growth, other.min_value) != (self.growth, self.min_value):
+            raise InvalidParameterError(
+                "cannot merge histograms with different bucket layouts: "
+                f"growth {self.growth} vs {other.growth}, "
+                f"min_value {self.min_value} vs {other.min_value}"
+            )
+        for index, bucket_count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + bucket_count
+        self._zero += other._zero
+        self.count += other.count
+        self.total += other.total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def min(self) -> float:
+        """Smallest recorded sample (``0.0`` when empty)."""
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest recorded sample (``0.0`` when empty)."""
+        return self._max if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 <= q <= 1) of the recorded samples.
+
+        Returns the geometric midpoint of the bucket containing the
+        order statistic of rank ``ceil(q * count)``, clamped to the
+        observed ``[min, max]`` — so the estimate always lies in the same
+        bucket as the exact sample (the contract the oracle test checks).
+        Empty histograms return ``0.0``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise InvalidParameterError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = min(self.count - 1, max(0, math.ceil(q * self.count) - 1))
+        if rank < self._zero:
+            return max(0.0, self._min)
+        seen = self._zero
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if rank < seen:
+                low, high = self.bucket_bounds(index)
+                estimate = math.sqrt(low * high) if low > 0.0 else high / 2.0
+                return min(self._max, max(self._min, estimate))
+        return self._max
+
+    def summary(self) -> dict[str, float]:
+        """Count, sum, min/max and the p50/p90/p99 estimates, as one dict."""
+        return {
+            "count": float(self.count),
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, bounds ascending.
+
+        The zero bucket (samples ``<= 0``) surfaces under upper bound
+        ``0.0``; the list covers every sample, so the last cumulative count
+        equals :attr:`count`.  This is exactly the shape a Prometheus
+        ``_bucket{le=...}`` series wants.
+        """
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        if self._zero:
+            running += self._zero
+            pairs.append((0.0, running))
+        for index in sorted(self._buckets):
+            running += self._buckets[index]
+            pairs.append((self.bucket_bounds(index)[1], running))
+        return pairs
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe full state; :meth:`from_dict` round-trips it exactly."""
+        return {
+            "growth": self.growth,
+            "min_value": self.min_value,
+            "count": self.count,
+            "total": self.total,
+            "zero": self._zero,
+            "min": self._min if self.count else None,
+            "max": self._max if self.count else None,
+            "buckets": {str(index): count for index, count in sorted(self._buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "LogHistogram":
+        """Rebuild a histogram from :meth:`to_dict` output."""
+        histogram = cls(
+            growth=float(payload["growth"]),  # type: ignore[arg-type]
+            min_value=float(payload["min_value"]),  # type: ignore[arg-type]
+        )
+        buckets = payload.get("buckets") or {}
+        if not isinstance(buckets, Mapping):
+            raise InvalidParameterError("histogram 'buckets' must be a mapping")
+        histogram._buckets = {int(key): int(value) for key, value in buckets.items()}
+        histogram._zero = int(payload.get("zero", 0))  # type: ignore[arg-type]
+        histogram.count = int(payload.get("count", 0))  # type: ignore[arg-type]
+        histogram.total = float(payload.get("total", 0.0))  # type: ignore[arg-type]
+        low, high = payload.get("min"), payload.get("max")
+        histogram._min = float(low) if low is not None else math.inf  # type: ignore[arg-type]
+        histogram._max = float(high) if high is not None else -math.inf  # type: ignore[arg-type]
+        return histogram
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (
+            f"LogHistogram(count={self.count}, buckets={len(self._buckets)}, "
+            f"p50={self.quantile(0.5):.4g})"
+        )

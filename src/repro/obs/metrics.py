@@ -14,6 +14,8 @@ from typing import TYPE_CHECKING, Mapping
 from repro.obs.trace import Trace, aggregate_phases
 
 if TYPE_CHECKING:
+    from repro.engine.analyze import PlanAnalysis
+    from repro.obs.histogram import LogHistogram
     from repro.stats.counters import DominanceCounter
 
 __all__ = ["MetricsRegistry"]
@@ -70,6 +72,29 @@ class MetricsRegistry:
     def record_pool(self, stats: Mapping[str, int], prefix: str = "pool.") -> None:
         """Snapshot worker-pool reuse stats (see ``SkylineWorkerPool.stats``)."""
         self.record_many({key: float(value) for key, value in stats.items()}, prefix)
+
+    def record_histogram(
+        self, name: str, histogram: "LogHistogram", prefix: str = "hist."
+    ) -> None:
+        """Flatten a :class:`LogHistogram`'s summary into metrics.
+
+        ``hist.<name>.count`` / ``.sum`` / ``.min`` / ``.max`` and the
+        ``.p50`` / ``.p90`` / ``.p99`` quantile estimates — the flat-dump
+        view; the full bucket detail stays on the histogram object (the
+        Prometheus exporter renders it natively).
+        """
+        self.record_many(histogram.summary(), prefix=f"{prefix}{name}.")
+
+    def record_analysis(
+        self, analysis: "PlanAnalysis", prefix: str = "planner."
+    ) -> None:
+        """Record an EXPLAIN ANALYZE report's misestimation ratios.
+
+        One ``planner.<metric>_ratio`` entry per estimate-vs-actual row
+        (``actual / estimated``; 1.0 means the cost model was exact), so
+        planner accuracy is trackable alongside ordinary run metrics.
+        """
+        self.record_many(analysis.accuracy_metrics(prefix=prefix))
 
     def record_trace(self, trace: Trace, prefix: str = "phase.") -> None:
         """Flatten a trace's per-phase aggregates into metrics.

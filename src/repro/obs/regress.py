@@ -1,0 +1,419 @@
+"""Bench-trajectory regression gate over ``BENCH_throughput.json``.
+
+The schema-v2 bench report keeps one entry per scenario; this module turns
+that file into a *trajectory*: every :func:`upsert <benchmarks.
+bench_throughput.upsert>` appends a compact :func:`trajectory_sample`
+(gateable metrics + the executed plan) to the entry's ``history`` list, and
+:func:`check_reports` compares a fresh run against the recorded history —
+failing CI on sustained slowdowns while tolerating run-to-run noise.
+
+Noise tolerance has three legs:
+
+- **per-kind tolerances** — wall-clock metrics are jittery (scheduler,
+  cache state, CI-host variance) and get a generous multiplicative
+  tolerance; charged dominance tests are near-deterministic for a fixed
+  configuration and get a tight one; speedup/DT ratios sit in between and
+  use the wall tolerance (they are wall-derived).
+- **median baselines** — the baseline is the median of the recorded
+  history samples, not the latest, so one anomalously fast past run cannot
+  condemn every future run.
+- **sustained failures** — a fresh value only counts as a regression when
+  it also exceeds tolerance against each of the last ``sustained`` history
+  samples, so a single slow *past* sample cannot mask and a lucky past
+  median cannot flag a one-off.
+
+Metrics are discovered structurally, so new bench fields join the gate
+without registration: keys ending in ``_s`` are lower-is-better wall
+times, keys containing ``dominance_tests`` are lower-is-better test
+counts, ``speedup``-suffixed keys are higher-is-better ratios and
+``dt_ratio`` keys lower-is-better ratios.  Gate constants (``gate_*``,
+``*_gate_*``), cost *estimates* (``*_est``), configuration, plan and
+history subtrees are excluded.
+
+CLI::
+
+    python -m repro.obs.regress --history BENCH_throughput.json \\
+        --fresh fresh.json [--inject-slowdown 2.0]
+
+``--inject-slowdown`` multiplies the fresh report's wall metrics (and
+divides its speedups) before checking — the self-test that proves the gate
+actually fails on a real slowdown (``make bench-check`` documentation and
+CI both use it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from statistics import median
+from typing import Mapping
+
+__all__ = [
+    "Finding",
+    "check_reports",
+    "classify_metric",
+    "collect_metrics",
+    "inject_slowdown",
+    "main",
+    "trajectory_sample",
+]
+
+#: Multiplicative tolerance for wall-clock metrics (and the ratios derived
+#: from them).  Wide on purpose: CI hosts differ and wall time is the
+#: noisiest signal; a genuine 2x slowdown still clears it.
+DEFAULT_WALL_TOLERANCE = 1.75
+
+#: Multiplicative tolerance for charged dominance tests.  DT counts are a
+#: pure function of data + algorithm + cache state, so anything past a few
+#: percent is a real behavioural change, not noise.
+DEFAULT_DT_TOLERANCE = 1.05
+
+#: Fresh value must breach tolerance against the median *and* each of this
+#: many most-recent history samples to count as a regression.
+DEFAULT_SUSTAINED = 2
+
+#: History samples retained per scenario entry (FIFO).
+MAX_HISTORY = 20
+
+#: Wall metrics where both sides sit under this many seconds are skipped:
+#: sub-5ms timings are dominated by timer and scheduler granularity.
+_WALL_FLOOR_S = 0.005
+
+#: Subtrees never walked for metrics.
+_SKIP_KEYS = frozenset({"config", "history", "plan", "recorded_unix"})
+
+
+def classify_metric(name: str) -> str | None:
+    """The regression class of a leaf field name, or ``None``.
+
+    Classes: ``"wall"`` (lower is better, wall tolerance), ``"tests"``
+    (lower is better, DT tolerance), ``"higher_ratio"`` (higher is better,
+    wall tolerance — speedups), ``"lower_ratio"`` (lower is better, DT
+    tolerance — DT ratios).
+    """
+    if "gate" in name:
+        return None
+    if name.endswith("_est"):
+        return None
+    if name.endswith("_s"):
+        return "wall"
+    if "dominance_tests" in name:
+        return "tests"
+    if name == "speedup" or name.endswith("speedup"):
+        return "higher_ratio"
+    if name == "dt_ratio" or name.endswith("dt_ratio"):
+        return "lower_ratio"
+    return None
+
+
+def collect_metrics(entry: Mapping[str, object]) -> dict[str, float]:
+    """Every gateable metric of one scenario entry, as dotted-path keys."""
+    metrics: dict[str, float] = {}
+
+    def visit(node: Mapping[str, object], prefix: str) -> None:
+        for key, value in node.items():
+            if key in _SKIP_KEYS:
+                continue
+            if isinstance(value, Mapping):
+                visit(value, f"{prefix}{key}.")
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if classify_metric(key) is not None:
+                metrics[f"{prefix}{key}"] = float(value)
+
+    visit(entry, "")
+    return metrics
+
+
+def trajectory_sample(entry: Mapping[str, object]) -> dict[str, object]:
+    """The compact history sample :func:`upsert` appends per run."""
+    return {
+        "recorded_unix": entry.get("recorded_unix"),
+        "plan": copy.deepcopy(entry.get("plan")),
+        "metrics": collect_metrics(entry),
+    }
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One metric regression: where, how bad, against what baseline."""
+
+    scenario: str
+    metric: str
+    kind: str
+    baseline: float
+    fresh: float
+    ratio: float
+    tolerance: float
+    note: str = ""
+
+    def render(self) -> str:
+        direction = "fell" if self.kind == "higher_ratio" else "rose"
+        line = (
+            f"{self.scenario}: {self.metric} {direction} "
+            f"{self.baseline:g} -> {self.fresh:g} "
+            f"({self.ratio:.2f}x, tolerance {self.tolerance:g}x)"
+        )
+        return f"{line}  [{self.note}]" if self.note else line
+
+
+def _tolerance_for(kind: str, wall_tolerance: float, dt_tolerance: float) -> float:
+    return dt_tolerance if kind in ("tests", "lower_ratio") else wall_tolerance
+
+
+def _breaches(kind: str, fresh: float, baseline: float, tolerance: float) -> bool:
+    """Whether ``fresh`` regresses past ``tolerance`` versus ``baseline``."""
+    if kind == "higher_ratio":
+        if baseline <= 0:
+            return False
+        return fresh * tolerance < baseline
+    if kind == "wall" and max(fresh, baseline) < _WALL_FLOOR_S:
+        return False
+    if baseline <= 0:
+        # A zero baseline (e.g. zero charged tests) regresses on any
+        # measurable fresh value for the deterministic kinds only.
+        return kind in ("tests", "lower_ratio") and fresh > 0
+    return fresh > baseline * tolerance
+
+
+def _history_metrics(entry: Mapping[str, object]) -> list[dict[str, float]]:
+    """The entry's history sample metrics, oldest first.
+
+    Entries recorded before the history schema (or hand-written fixtures)
+    fall back to a single sample collected from the entry itself.
+    """
+    history = entry.get("history")
+    samples: list[dict[str, float]] = []
+    if isinstance(history, list):
+        for sample in history:
+            if isinstance(sample, Mapping) and isinstance(
+                sample.get("metrics"), Mapping
+            ):
+                samples.append(
+                    {k: float(v) for k, v in sample["metrics"].items()}  # type: ignore[union-attr]
+                )
+    if not samples:
+        samples = [collect_metrics(entry)]
+    return samples
+
+
+def _plan_note(entry: Mapping[str, object], fresh_entry: Mapping[str, object]) -> str:
+    """Attribute a shift to a plan change when the recorded plans differ."""
+    baseline_plan = entry.get("plan")
+    fresh_plan = fresh_entry.get("plan")
+    if baseline_plan == fresh_plan:
+        return ""
+    if fresh_plan is None or baseline_plan is None:
+        return "plan recording changed"
+    changed = [
+        f"{key}: {baseline_plan.get(key)!r} -> {fresh_plan.get(key)!r}"  # type: ignore[union-attr]
+        for key in sorted(set(baseline_plan) | set(fresh_plan))  # type: ignore[arg-type]
+        if baseline_plan.get(key) != fresh_plan.get(key)  # type: ignore[union-attr]
+    ]
+    return "plan changed: " + "; ".join(changed)
+
+
+def check_reports(
+    history_report: Mapping[str, object],
+    fresh_report: Mapping[str, object],
+    *,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    dt_tolerance: float = DEFAULT_DT_TOLERANCE,
+    sustained: int = DEFAULT_SUSTAINED,
+) -> tuple[list[Finding], int]:
+    """Regressions of ``fresh_report`` against ``history_report``.
+
+    Both arguments are loaded schema-v2 bench reports.  Returns the
+    regression findings plus the number of metrics compared; scenarios
+    present on only one side are skipped (the fresh run is typically a
+    subset of the recorded scenarios).
+    """
+    findings: list[Finding] = []
+    compared = 0
+    history_scenarios = history_report.get("scenarios")
+    fresh_scenarios = fresh_report.get("scenarios")
+    if not isinstance(history_scenarios, Mapping) or not isinstance(
+        fresh_scenarios, Mapping
+    ):
+        return findings, compared
+    for key in sorted(fresh_scenarios):
+        if key not in history_scenarios:
+            continue
+        history_entry = history_scenarios[key]
+        fresh_entry = fresh_scenarios[key]
+        if not isinstance(history_entry, Mapping) or not isinstance(
+            fresh_entry, Mapping
+        ):
+            continue
+        samples = _history_metrics(history_entry)
+        fresh_metrics = collect_metrics(fresh_entry)
+        plan_note = _plan_note(history_entry, fresh_entry)
+        for metric, fresh_value in sorted(fresh_metrics.items()):
+            values = [s[metric] for s in samples if metric in s]
+            if not values:
+                continue
+            kind = classify_metric(metric.rsplit(".", 1)[-1])
+            if kind is None:
+                continue
+            compared += 1
+            tolerance = _tolerance_for(kind, wall_tolerance, dt_tolerance)
+            baseline = median(values)
+            if not _breaches(kind, fresh_value, baseline, tolerance):
+                continue
+            recent = values[-max(1, sustained):]
+            if not all(
+                _breaches(kind, fresh_value, value, tolerance) for value in recent
+            ):
+                continue
+            ratio = (
+                baseline / fresh_value
+                if kind == "higher_ratio" and fresh_value > 0
+                else (fresh_value / baseline if baseline > 0 else float("inf"))
+            )
+            findings.append(
+                Finding(
+                    scenario=str(key),
+                    metric=metric,
+                    kind=kind,
+                    baseline=baseline,
+                    fresh=fresh_value,
+                    ratio=ratio,
+                    tolerance=tolerance,
+                    note=plan_note,
+                )
+            )
+    return findings, compared
+
+
+def inject_slowdown(report: Mapping[str, object], factor: float) -> dict[str, object]:
+    """A deep copy of ``report`` with every wall metric slowed ``factor``-fold.
+
+    Wall times multiply by ``factor``; speedups (wall-derived,
+    higher-is-better) divide by it.  Deterministic DT metrics are left
+    untouched — a wall slowdown does not change charged tests.  Used by the
+    gate's self-test: the doctored report must fail :func:`check_reports`.
+    """
+    doctored = copy.deepcopy(dict(report))
+
+    def visit(node: dict[str, object]) -> None:
+        for key, value in node.items():
+            if key in _SKIP_KEYS:
+                continue
+            if isinstance(value, dict):
+                visit(value)
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            kind = classify_metric(key)
+            if kind == "wall":
+                node[key] = float(value) * factor
+            elif kind == "higher_ratio":
+                node[key] = float(value) / factor
+
+    scenarios = doctored.get("scenarios")
+    if isinstance(scenarios, dict):
+        for entry in scenarios.values():
+            if isinstance(entry, dict):
+                visit(entry)
+    return doctored
+
+
+def _load_report(path: Path) -> dict[str, object]:
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(document, dict) or document.get("schema_version") != 2:
+        raise SystemExit(
+            f"error: {path} is not a schema-v2 bench report "
+            f"(run benchmarks/bench_throughput.py to regenerate)"
+        )
+    return document
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.regress",
+        description="Compare a fresh bench run against recorded history; "
+        "exit 1 on sustained regressions.",
+    )
+    parser.add_argument(
+        "--history",
+        default="BENCH_throughput.json",
+        help="recorded trajectory report (default: BENCH_throughput.json)",
+    )
+    parser.add_argument(
+        "--fresh", required=True, help="freshly produced bench report to check"
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=DEFAULT_WALL_TOLERANCE,
+        help="multiplicative tolerance for wall metrics and speedups "
+        f"(default {DEFAULT_WALL_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--dt-tolerance",
+        type=float,
+        default=DEFAULT_DT_TOLERANCE,
+        help="multiplicative tolerance for dominance-test metrics "
+        f"(default {DEFAULT_DT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--sustained",
+        type=int,
+        default=DEFAULT_SUSTAINED,
+        help="recent history samples a regression must also breach "
+        f"(default {DEFAULT_SUSTAINED})",
+    )
+    parser.add_argument(
+        "--inject-slowdown",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="self-test: slow the fresh report's wall metrics FACTOR-fold "
+        "before checking (the gate must then fail)",
+    )
+    args = parser.parse_args(argv)
+
+    history = _load_report(Path(args.history))
+    fresh = _load_report(Path(args.fresh))
+    if args.inject_slowdown is not None:
+        if args.inject_slowdown <= 0:
+            parser.error("--inject-slowdown must be > 0")
+        print(f"injecting a {args.inject_slowdown:g}x synthetic slowdown")
+        fresh = inject_slowdown(fresh, args.inject_slowdown)
+
+    findings, compared = check_reports(
+        history,
+        fresh,
+        wall_tolerance=args.wall_tolerance,
+        dt_tolerance=args.dt_tolerance,
+        sustained=args.sustained,
+    )
+    overlap = sorted(
+        set(fresh.get("scenarios", {})) & set(history.get("scenarios", {}))  # type: ignore[arg-type]
+    )
+    print(
+        f"bench-check: {len(overlap)} scenario(s), {compared} metric(s) "
+        f"compared against {args.history}"
+    )
+    for key in overlap:
+        scenario_findings = [f for f in findings if f.scenario == key]
+        status = "REGRESSED" if scenario_findings else "OK"
+        print(f"  {status:9s} {key}")
+        for finding in scenario_findings:
+            print(f"            {finding.render()}")
+    if not overlap:
+        print("  (no overlapping scenarios — nothing to gate)")
+    if findings:
+        print(f"FAIL: {len(findings)} sustained regression(s)")
+        return 1
+    print("PASS: no sustained regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -86,6 +86,63 @@ class TestReportSchema:
         assert isinstance(report["scenarios"][key]["recorded_unix"], int)
 
 
+class TestTrajectoryHistory:
+    def test_upsert_accumulates_history_samples(self, bench):
+        report = {"schema_version": bench.SCHEMA_VERSION, "scenarios": {}}
+        key = bench.scenario_key("repeated_queries", "UI", 100, 4, 0)
+        bench.upsert(report, key, {"cold_s": 1.0})
+        bench.upsert(report, key, {"cold_s": 2.0})
+        history = report["scenarios"][key]["history"]
+        assert len(history) == 2
+        assert history[0]["metrics"]["cold_s"] == 1.0
+        assert history[1]["metrics"]["cold_s"] == 2.0
+
+    def test_history_never_nests_inside_samples(self, bench):
+        # trajectory_sample collects metrics, not the history subtree —
+        # otherwise the report would grow quadratically run over run.
+        report = {"schema_version": bench.SCHEMA_VERSION, "scenarios": {}}
+        key = bench.scenario_key("repeated_queries", "UI", 100, 4, 0)
+        bench.upsert(report, key, {"cold_s": 1.0})
+        bench.upsert(report, key, {"cold_s": 2.0})
+        for sample in report["scenarios"][key]["history"]:
+            assert set(sample) == {"recorded_unix", "plan", "metrics"}
+            assert "history" not in sample["metrics"]
+
+    def test_history_capped_at_max(self, bench):
+        report = {"schema_version": bench.SCHEMA_VERSION, "scenarios": {}}
+        key = bench.scenario_key("phases", "UI", 1, 1, 0)
+        for i in range(bench.MAX_HISTORY + 5):
+            bench.upsert(report, key, {"cold_s": float(i)})
+        history = report["scenarios"][key]["history"]
+        assert len(history) == bench.MAX_HISTORY
+        # Oldest samples rotated out; the newest survives.
+        assert history[-1]["metrics"]["cold_s"] == float(bench.MAX_HISTORY + 4)
+
+    def test_plan_carried_into_samples(self, bench):
+        report = {"schema_version": bench.SCHEMA_VERSION, "scenarios": {}}
+        key = bench.scenario_key("repeated_queries", "UI", 100, 4, 0)
+        plan = {"algorithm": "sfs-subset", "index_backend": "map"}
+        bench.upsert(report, key, {"cold_s": 1.0, "plan": plan})
+        assert report["scenarios"][key]["history"][0]["plan"] == plan
+
+    def test_plan_fields_extracts_executed_plan(self, bench):
+        class Plan:
+            label = "sdi-subset"
+            index_backend = "flat"
+            incremental = None
+            parallel_strategy = "blocks"
+            workers = 4
+
+        fields = bench.plan_fields(Plan())
+        assert fields == {
+            "algorithm": "sdi-subset",
+            "index_backend": "flat",
+            "incremental": False,
+            "parallel_strategy": "blocks",
+            "workers": 4,
+        }
+
+
 class TestGateStatus:
     def test_block_parallel_skip_records_explicit_reason(self, bench):
         # The schema contract: a skipped wall gate is never a silent null —

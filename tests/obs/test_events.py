@@ -1,0 +1,135 @@
+"""EventLog: ring semantics, slow-query channel, JSONL, ambient pattern."""
+
+import json
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs.events import (
+    NULL_EVENT_LOG,
+    EventLog,
+    NullEventLog,
+    current_event_log,
+)
+
+
+class TestRing:
+    def test_events_retained_oldest_first(self):
+        log = EventLog()
+        log.emit("a", x=1)
+        log.emit("b", x=2)
+        assert [event.name for event in log.events()] == ["a", "b"]
+        assert log.emitted == 2
+
+    def test_capacity_rotates_oldest_out(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.emit(f"e{i}")
+        assert [event.name for event in log.events()] == ["e2", "e3", "e4"]
+        assert log.emitted == 5  # emitted counts everything, ring holds 3
+
+    def test_timestamps_monotone(self):
+        log = EventLog()
+        log.emit("first")
+        log.emit("second")
+        first, second = log.events()
+        assert 0.0 <= first.ts_s <= second.ts_s
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(InvalidParameterError, match="capacity"):
+            EventLog(capacity=0)
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(InvalidParameterError, match="slow_query_s"):
+            EventLog(slow_query_s=-1.0)
+
+
+class TestSlowQueries:
+    def test_slow_finish_events_captured(self):
+        log = EventLog(slow_query_s=0.1)
+        log.emit("query.finish", wall_s=0.05)
+        log.emit("query.finish", wall_s=0.25)
+        log.emit("other", wall_s=9.0)  # name gate: only query.finish
+        assert [e.fields["wall_s"] for e in log.slow_queries()] == [0.25]
+
+    def test_threshold_is_inclusive(self):
+        log = EventLog(slow_query_s=0.1)
+        log.emit("query.finish", wall_s=0.1)
+        assert len(log.slow_queries()) == 1
+
+    def test_slow_ring_survives_main_ring_rotation(self):
+        log = EventLog(capacity=2, slow_query_s=0.1)
+        log.emit("query.finish", wall_s=0.5)
+        for i in range(10):
+            log.emit(f"noise{i}")
+        assert len(log.events()) == 2
+        assert [e.fields["wall_s"] for e in log.slow_queries()] == [0.5]
+
+    def test_disabled_threshold_records_nothing(self):
+        log = EventLog()
+        log.emit("query.finish", wall_s=99.0)
+        assert log.slow_queries() == []
+
+
+class TestJsonl:
+    def test_one_parseable_object_per_line(self):
+        log = EventLog()
+        log.emit("query.start", dataset="UI", n=100)
+        log.emit("query.finish", wall_s=0.01)
+        lines = log.to_jsonl().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["event"] == "query.start"
+        assert parsed[0]["dataset"] == "UI"
+        assert parsed[1]["wall_s"] == 0.01
+        assert all("ts_s" in entry for entry in parsed)
+
+    def test_empty_log_is_empty_string(self):
+        assert EventLog().to_jsonl() == ""
+
+    def test_non_json_field_values_stringify(self):
+        log = EventLog()
+        log.emit("odd", path=("a", "b"))
+        json.loads(log.to_jsonl())  # must not raise
+
+    def test_write_jsonl(self, tmp_path):
+        log = EventLog()
+        log.emit("x", k=1)
+        path = log.write_jsonl(tmp_path / "events.jsonl")
+        assert json.loads(path.read_text())["event"] == "x"
+
+
+class TestAmbient:
+    def test_default_is_null_log(self):
+        assert current_event_log() is NULL_EVENT_LOG
+
+    def test_activation_installs_and_restores(self):
+        log = EventLog()
+        with log.activate():
+            assert current_event_log() is log
+        assert current_event_log() is NULL_EVENT_LOG
+
+    def test_nested_activation_restores_outer(self):
+        outer, inner = EventLog(), EventLog()
+        with outer.activate():
+            with inner.activate():
+                assert current_event_log() is inner
+            assert current_event_log() is outer
+
+
+class TestNullEventLog:
+    def test_emit_is_noop(self):
+        log = NullEventLog()
+        assert log.emit("anything", x=1) is None
+        assert log.events() == []
+        assert log.slow_queries() == []
+        assert log.to_jsonl() == ""
+
+    def test_disabled_flag_gates_call_sites(self):
+        assert NullEventLog().enabled is False
+        assert EventLog().enabled is True
+
+    def test_activate_returns_shared_noop(self):
+        log = NullEventLog()
+        assert log.activate() is log.activate()
+        with log.activate():
+            assert current_event_log() is NULL_EVENT_LOG

@@ -118,3 +118,99 @@ class TestPhaseTable:
     def test_rejects_bad_width(self):
         with pytest.raises(InvalidParameterError, match="width"):
             phase_table(make_trace(), width=0)
+
+    def test_siblings_sorted_by_wall_time_descending(self):
+        tracer = Tracer()
+        counter = DominanceCounter()
+        with tracer.span("execute", counter=counter):
+            with tracer.span("fast", counter=counter):
+                pass
+            with tracer.span("slow", counter=counter):
+                sum(range(200_000))
+        table = phase_table(tracer.drain())
+        lines = table.splitlines()
+        slow_at = next(i for i, line in enumerate(lines) if line.startswith("  slow"))
+        fast_at = next(i for i, line in enumerate(lines) if line.startswith("  fast"))
+        assert slow_at < fast_at
+
+    def test_children_stay_under_their_parent_after_sorting(self):
+        tracer = Tracer()
+        counter = DominanceCounter()
+        with tracer.span("execute", counter=counter):
+            with tracer.span("scan", counter=counter):
+                with tracer.span("sort", counter=counter):
+                    sum(range(100_000))
+            with tracer.span("merge", counter=counter):
+                pass
+        lines = phase_table(tracer.drain()).splitlines()
+        scan_at = next(i for i, line in enumerate(lines) if line.startswith("  scan"))
+        sort_at = next(
+            i for i, line in enumerate(lines) if line.startswith("    sort")
+        )
+        assert sort_at == scan_at + 1
+
+    def test_cache_hit_rate_columns(self):
+        tracer = Tracer()
+        counter = DominanceCounter()
+        with tracer.span("execute", counter=counter):
+            with tracer.span("scan", counter=counter):
+                counter.index_cache_hits += 3
+                counter.index_cache_misses += 1
+            with tracer.span("prepare", counter=counter):
+                counter.prepared_cache_hits += 1
+        table = phase_table(tracer.drain())
+        assert "idx%" in table.splitlines()[0]
+        assert "prep%" in table.splitlines()[0]
+        scan_line = next(
+            line for line in table.splitlines() if line.lstrip().startswith("scan")
+        )
+        assert "75%" in scan_line
+        prepare_line = next(
+            line
+            for line in table.splitlines()
+            if line.lstrip().startswith("prepare")
+        )
+        assert "100%" in prepare_line
+
+
+class TestEngineRepairSpanExport:
+    """The incremental-repair span survives the Chrome export schema."""
+
+    @pytest.fixture(scope="class")
+    def repair_result(self):
+        import numpy as np
+
+        from repro.data import generate
+        from repro.engine import SkylineEngine
+        from repro.engine.context import ExecutionContext
+
+        dataset = generate("UI", n=600, d=4, seed=3)
+        engine = SkylineEngine(ExecutionContext(tracer=Tracer()))
+        engine.execute(dataset, index_backend="flat", workers=1)
+        rng = np.random.default_rng(3)
+        engine.apply_delta(dataset, inserts=rng.random((4, 4)))
+        result = engine.execute(dataset, workers=1)
+        assert result.plan.incremental, "planner did not choose repair"
+        return result
+
+    def test_repair_span_args_survive_validation(self, repair_result, tmp_path):
+        path = write_chrome_trace(repair_result.trace, tmp_path / "trace.json")
+        document = json.loads(path.read_text())
+        assert validate_chrome_trace(document) == len(document["traceEvents"])
+        repair = next(
+            event
+            for event in document["traceEvents"]
+            if event["name"] == "engine.repair"
+        )
+        assert repair["args"]["pending"] >= 1
+        assert repair["args"]["backend"] in ("map", "flat")
+        assert repair["ph"] == "X"
+
+    def test_repair_span_aggregates_into_phase_table(self, repair_result):
+        table = phase_table(repair_result.trace)
+        repair_line = next(
+            line
+            for line in table.splitlines()
+            if line.lstrip().startswith("engine.repair")
+        )
+        assert repair_line.startswith("  ")  # nested under execute

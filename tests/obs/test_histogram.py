@@ -1,0 +1,150 @@
+"""LogHistogram: bucket layout, quantile oracle, lossless merge, roundtrip."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs.histogram import LogHistogram
+
+
+def exact_quantile(samples, q):
+    """The order statistic the histogram's quantile() approximates."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class TestBucketLayout:
+    def test_zero_and_negative_samples_use_zero_bucket(self):
+        histogram = LogHistogram()
+        assert histogram.bucket_index(0.0) == -1
+        assert histogram.bucket_index(-1.0) == -1
+
+    def test_values_at_or_below_min_value_share_bucket_zero(self):
+        histogram = LogHistogram(min_value=1e-6)
+        assert histogram.bucket_index(1e-9) == 0
+        assert histogram.bucket_index(1e-6) == 0
+
+    def test_bucket_bounds_contain_their_values(self):
+        histogram = LogHistogram()
+        for value in (1e-6, 3e-5, 0.01, 1.7, 250.0):
+            index = histogram.bucket_index(value)
+            low, high = histogram.bucket_bounds(index)
+            assert low < value <= high or (index == 0 and value <= high)
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(InvalidParameterError, match="growth"):
+            LogHistogram(growth=1.0)
+        with pytest.raises(InvalidParameterError, match="min_value"):
+            LogHistogram(min_value=0.0)
+
+
+class TestQuantileOracle:
+    """p50/p90/p99 must land in the same bucket as the exact statistic."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    def test_quantile_within_one_bucket_of_exact(self, seed, q):
+        rng = np.random.default_rng(seed)
+        samples = rng.lognormal(mean=-4.0, sigma=2.0, size=2000)
+        histogram = LogHistogram()
+        histogram.add_many(samples)
+        estimate = histogram.quantile(q)
+        exact = exact_quantile(samples, q)
+        # Same-bucket contract: the estimate and the exact order statistic
+        # differ by at most one bucket width (a factor of growth).
+        assert exact / histogram.growth <= estimate <= exact * histogram.growth
+
+    def test_summary_matches_brute_force_on_uniform(self):
+        rng = np.random.default_rng(7)
+        samples = rng.uniform(0.001, 1.0, size=500)
+        histogram = LogHistogram()
+        histogram.add_many(samples)
+        summary = histogram.summary()
+        assert summary["count"] == 500.0
+        assert summary["sum"] == pytest.approx(float(samples.sum()))
+        assert summary["min"] == pytest.approx(float(samples.min()))
+        assert summary["max"] == pytest.approx(float(samples.max()))
+        for key, q in (("p50", 0.5), ("p90", 0.9), ("p99", 0.99)):
+            exact = exact_quantile(samples, q)
+            assert exact / histogram.growth <= summary[key] <= exact * histogram.growth
+
+    def test_zeros_order_before_everything(self):
+        histogram = LogHistogram()
+        histogram.add_many([0.0, 0.0, 0.0, 5.0])
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.quantile(1.0) == 5.0
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert LogHistogram().quantile(0.5) == 0.0
+
+    def test_single_sample_everywhere(self):
+        histogram = LogHistogram()
+        histogram.add(0.25)
+        for q in (0.0, 0.5, 1.0):
+            assert histogram.quantile(q) == pytest.approx(0.25)
+
+    def test_rejects_out_of_range_quantile(self):
+        with pytest.raises(InvalidParameterError, match="quantile"):
+            LogHistogram().quantile(1.5)
+
+
+class TestLosslessMerge:
+    def test_merge_equals_concatenation_bucket_for_bucket(self):
+        rng = np.random.default_rng(11)
+        left_samples = rng.lognormal(-3, 1.5, size=400)
+        right_samples = rng.lognormal(-2, 1.0, size=300)
+        left = LogHistogram()
+        left.add_many(left_samples)
+        right = LogHistogram()
+        right.add_many(right_samples)
+        left.merge(right)
+        combined = LogHistogram()
+        combined.add_many(np.concatenate([left_samples, right_samples]))
+        assert left.to_dict() == combined.to_dict()
+
+    def test_merge_rejects_layout_mismatch(self):
+        with pytest.raises(InvalidParameterError, match="layouts"):
+            LogHistogram(growth=2.0).merge(LogHistogram(growth=1.5))
+        with pytest.raises(InvalidParameterError, match="layouts"):
+            LogHistogram(min_value=1e-6).merge(LogHistogram(min_value=1e-3))
+
+    def test_merging_empty_is_identity(self):
+        histogram = LogHistogram()
+        histogram.add_many([0.1, 0.2])
+        before = histogram.to_dict()
+        histogram.merge(LogHistogram())
+        assert histogram.to_dict() == before
+
+
+class TestSerialisation:
+    def test_json_roundtrip_is_exact(self):
+        histogram = LogHistogram()
+        histogram.add_many([0.0, 1e-9, 0.004, 0.004, 1.5, 300.0])
+        payload = json.loads(json.dumps(histogram.to_dict()))
+        rebuilt = LogHistogram.from_dict(payload)
+        assert rebuilt.to_dict() == histogram.to_dict()
+        assert rebuilt.quantile(0.5) == histogram.quantile(0.5)
+
+    def test_empty_roundtrip(self):
+        rebuilt = LogHistogram.from_dict(LogHistogram().to_dict())
+        assert rebuilt.count == 0
+        assert rebuilt.min == 0.0 and rebuilt.max == 0.0
+
+    def test_cumulative_covers_every_sample(self):
+        histogram = LogHistogram()
+        histogram.add_many([0.0, 0.001, 0.002, 0.5])
+        pairs = histogram.cumulative()
+        assert pairs[0] == (0.0, 1)  # zero bucket first
+        assert pairs[-1][1] == histogram.count
+        uppers = [upper for upper, _ in pairs]
+        assert uppers == sorted(uppers)
+
+    def test_len_tracks_count(self):
+        histogram = LogHistogram()
+        assert len(histogram) == 0
+        histogram.add(1.0)
+        assert len(histogram) == 1

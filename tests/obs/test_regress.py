@@ -1,0 +1,240 @@
+"""The bench-trajectory regression gate: classification, checks, CLI."""
+
+import json
+
+import pytest
+
+from repro.obs.regress import (
+    DEFAULT_DT_TOLERANCE,
+    DEFAULT_WALL_TOLERANCE,
+    Finding,
+    check_reports,
+    classify_metric,
+    collect_metrics,
+    inject_slowdown,
+    main,
+    trajectory_sample,
+)
+
+
+def entry(wall=1.0, tests=1000, speedup=4.0, plan=None, history=None):
+    """A minimal scenario entry in the bench schema."""
+    result = {
+        "config": {"kind": "UI", "n": 1000},
+        "cold_s": wall,
+        "dominance_tests": tests,
+        "speedup": speedup,
+        "identical": True,
+        "recorded_unix": 1,
+    }
+    if plan is not None:
+        result["plan"] = plan
+    if history is not None:
+        result["history"] = history
+    return result
+
+
+def report(**entries):
+    return {"schema_version": 2, "scenarios": dict(entries)}
+
+
+def history_from(*entries):
+    return [trajectory_sample(e) for e in entries]
+
+
+class TestClassifyMetric:
+    def test_wall_suffix(self):
+        assert classify_metric("cold_s") == "wall"
+        assert classify_metric("incremental_s") == "wall"
+
+    def test_dominance_tests_substring(self):
+        assert classify_metric("dominance_tests") == "tests"
+        assert classify_metric("serial_dominance_tests") == "tests"
+
+    def test_ratios(self):
+        assert classify_metric("speedup") == "higher_ratio"
+        assert classify_metric("geomean_speedup") == "higher_ratio"
+        assert classify_metric("dt_ratio") == "lower_ratio"
+
+    def test_gate_constants_and_estimates_excluded(self):
+        assert classify_metric("gate_speedup") is None
+        assert classify_metric("dt_gate_ratio") is None
+        assert classify_metric("repair_cost_est") is None
+        assert classify_metric("recompute_cost_est") is None
+
+    def test_unrelated_fields_excluded(self):
+        assert classify_metric("skyline_size") is None
+        assert classify_metric("identical") is None
+
+
+class TestCollectMetrics:
+    def test_walks_nested_hosts_with_dotted_paths(self):
+        sample = {
+            "cold_s": 1.5,
+            "hosts": {"sdi": {"batched_s": 0.5, "skyline_size": 10}},
+            "config": {"n_s": 99.0},  # excluded subtree
+            "identical": True,  # bool excluded
+        }
+        metrics = collect_metrics(sample)
+        assert metrics == {"cold_s": 1.5, "hosts.sdi.batched_s": 0.5}
+
+    def test_trajectory_sample_shape(self):
+        sample = trajectory_sample(entry(plan={"algorithm": "sfs-subset"}))
+        assert sample["recorded_unix"] == 1
+        assert sample["plan"] == {"algorithm": "sfs-subset"}
+        assert "cold_s" in sample["metrics"]
+        assert "identical" not in sample["metrics"]
+
+
+class TestCheckReports:
+    def test_identical_reports_pass(self):
+        baseline = report(s=entry())
+        findings, compared = check_reports(baseline, baseline)
+        assert findings == []
+        assert compared == 3  # cold_s, dominance_tests, speedup
+
+    def test_wall_regression_past_tolerance_fails(self):
+        findings, _ = check_reports(
+            report(s=entry(wall=1.0)), report(s=entry(wall=2.0))
+        )
+        assert [f.metric for f in findings] == ["cold_s"]
+        assert findings[0].kind == "wall"
+        assert findings[0].ratio == pytest.approx(2.0)
+
+    def test_wall_noise_within_tolerance_passes(self):
+        findings, _ = check_reports(
+            report(s=entry(wall=1.0)),
+            report(s=entry(wall=1.0 * (DEFAULT_WALL_TOLERANCE - 0.05))),
+        )
+        assert findings == []
+
+    def test_dt_regression_uses_tight_tolerance(self):
+        findings, _ = check_reports(
+            report(s=entry(tests=1000)), report(s=entry(tests=1100))
+        )
+        assert [f.metric for f in findings] == ["dominance_tests"]
+        assert findings[0].tolerance == DEFAULT_DT_TOLERANCE
+
+    def test_speedup_drop_fails(self):
+        findings, _ = check_reports(
+            report(s=entry(speedup=4.0)), report(s=entry(speedup=2.0))
+        )
+        assert [f.metric for f in findings] == ["speedup"]
+        assert findings[0].kind == "higher_ratio"
+        assert "fell" in findings[0].render()
+
+    def test_sub_floor_wall_times_skipped(self):
+        findings, _ = check_reports(
+            report(s=entry(wall=0.001)), report(s=entry(wall=0.004))
+        )
+        assert [f.metric for f in findings if f.kind == "wall"] == []
+
+    def test_median_baseline_resists_one_fast_outlier(self):
+        # History: one anomalously fast run among normal ones.  A fresh
+        # run at the normal pace must not be condemned.
+        samples = history_from(entry(wall=1.0), entry(wall=0.2), entry(wall=1.1))
+        baseline = report(s=entry(wall=1.1, history=samples))
+        findings, _ = check_reports(baseline, report(s=entry(wall=1.2)))
+        assert findings == []
+
+    def test_sustained_check_needs_recent_breaches_too(self):
+        # Median is slow history, but the most recent sample already runs
+        # at the fresh pace — not sustained, so not a regression.
+        samples = history_from(
+            entry(wall=0.5), entry(wall=0.5), entry(wall=0.5), entry(wall=1.2)
+        )
+        baseline = report(s=entry(wall=1.2, history=samples))
+        findings, _ = check_reports(baseline, report(s=entry(wall=1.3)))
+        assert findings == []
+
+    def test_sustained_regression_against_all_recent_fails(self):
+        samples = history_from(entry(wall=0.5), entry(wall=0.5), entry(wall=0.6))
+        baseline = report(s=entry(wall=0.6, history=samples))
+        findings, _ = check_reports(baseline, report(s=entry(wall=2.0)))
+        assert [f.metric for f in findings] == ["cold_s"]
+
+    def test_plan_change_noted_on_findings(self):
+        old = entry(wall=1.0, plan={"algorithm": "sfs-subset", "workers": 1})
+        fresh = entry(wall=3.0, plan={"algorithm": "sdi-subset", "workers": 1})
+        findings, _ = check_reports(report(s=old), report(s=fresh))
+        assert findings and "plan changed" in findings[0].note
+        assert "algorithm" in findings[0].note
+        assert "workers" not in findings[0].note  # unchanged field not listed
+
+    def test_non_overlapping_scenarios_skipped(self):
+        findings, compared = check_reports(
+            report(a=entry()), report(b=entry(wall=50.0))
+        )
+        assert findings == [] and compared == 0
+
+    def test_entry_without_history_falls_back_to_itself(self):
+        findings, _ = check_reports(
+            report(s=entry(wall=1.0)), report(s=entry(wall=5.0))
+        )
+        assert len(findings) == 1
+
+
+class TestInjectSlowdown:
+    def test_walls_multiply_speedups_divide_tests_untouched(self):
+        doctored = inject_slowdown(report(s=entry(wall=1.0, tests=1000, speedup=4.0)), 2.0)
+        slowed = doctored["scenarios"]["s"]
+        assert slowed["cold_s"] == 2.0
+        assert slowed["speedup"] == 2.0
+        assert slowed["dominance_tests"] == 1000
+
+    def test_original_report_unchanged(self):
+        original = report(s=entry(wall=1.0))
+        inject_slowdown(original, 2.0)
+        assert original["scenarios"]["s"]["cold_s"] == 1.0
+
+    def test_injected_slowdown_fails_the_gate(self):
+        baseline = report(s=entry())
+        doctored = inject_slowdown(baseline, 2.0)
+        findings, _ = check_reports(baseline, doctored)
+        assert findings  # the self-test contract CI relies on
+
+
+class TestMain:
+    def write(self, tmp_path, name, document):
+        path = tmp_path / name
+        path.write_text(json.dumps(document))
+        return path
+
+    def test_pass_exit_zero(self, tmp_path, capsys):
+        path = self.write(tmp_path, "bench.json", report(s=entry()))
+        assert main(["--history", str(path), "--fresh", str(path)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        history = self.write(tmp_path, "history.json", report(s=entry(wall=1.0)))
+        fresh = self.write(tmp_path, "fresh.json", report(s=entry(wall=9.0)))
+        assert main(["--history", str(history), "--fresh", str(fresh)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "cold_s" in out
+
+    def test_inject_slowdown_flag_fails(self, tmp_path):
+        path = self.write(tmp_path, "bench.json", report(s=entry()))
+        code = main(
+            ["--history", str(path), "--fresh", str(path), "--inject-slowdown", "2"]
+        )
+        assert code == 1
+
+    def test_custom_tolerance_respected(self, tmp_path):
+        history = self.write(tmp_path, "history.json", report(s=entry(wall=1.0)))
+        fresh = self.write(tmp_path, "fresh.json", report(s=entry(wall=2.0)))
+        args = ["--history", str(history), "--fresh", str(fresh)]
+        assert main(args) == 1
+        assert main(args + ["--wall-tolerance", "3.0"]) == 0
+
+    def test_rejects_non_v2_report(self, tmp_path):
+        bad = self.write(tmp_path, "bad.json", {"schema_version": 1})
+        good = self.write(tmp_path, "good.json", report(s=entry()))
+        with pytest.raises(SystemExit, match="schema-v2"):
+            main(["--history", str(bad), "--fresh", str(good)])
+
+    def test_finding_render_shape(self):
+        finding = Finding(
+            scenario="s", metric="cold_s", kind="wall",
+            baseline=1.0, fresh=2.0, ratio=2.0, tolerance=1.75,
+        )
+        assert "cold_s rose 1 -> 2 (2.00x, tolerance 1.75x)" in finding.render()

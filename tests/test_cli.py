@@ -79,3 +79,58 @@ class TestExplain:
         out = capsys.readouterr().out
         assert "[adaptive]" in out
         assert "signals:" in out
+
+
+class TestTelemetry:
+    ARGS = ["run", "-a", "auto", "--kind", "UI", "-n", "300", "-d", "4"]
+
+    def test_explain_analyze_prints_estimate_vs_actual(self, capsys):
+        assert main(self.ARGS + ["--explain-analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE:" in out
+        assert "skyline_size" in out
+        assert "estimated" in out and "actual" in out
+
+    def test_events_flag_writes_parseable_jsonl(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        assert main(self.ARGS + ["--events", str(path)]) == 0
+        lines = path.read_text().splitlines()
+        names = [json.loads(line)["event"] for line in lines]
+        assert "query.start" in names
+        assert "plan.chosen" in names
+        assert "query.finish" in names
+        assert "events" in capsys.readouterr().out
+
+    def test_slow_ms_zero_marks_every_query_slow(self, tmp_path):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        args = self.ARGS + ["--events", str(path), "--slow-ms", "0"]
+        assert main(args) == 0
+        finishes = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if json.loads(line)["event"] == "query.finish"
+        ]
+        assert finishes and all(entry["wall_s"] >= 0.0 for entry in finishes)
+
+    def test_prom_flag_writes_exposition(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        assert main(self.ARGS + ["--prom", str(path)]) == 0
+        content = path.read_text()
+        assert "# TYPE repro_" in content
+        assert "repro_counter_" in content  # counter gauges exported
+        assert 'repro_query_wall_s_bucket{le="+Inf"} 1' in content  # histogram
+        assert "metrics" in capsys.readouterr().out
+
+    def test_metrics_include_planner_accuracy_ratios(self, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        args = self.ARGS + ["--explain-analyze", "--metrics", str(path)]
+        assert main(args) == 0
+        metrics = json.loads(path.read_text())
+        assert "planner.skyline_size_ratio" in metrics
+        assert metrics["planner.skyline_size_ratio"] > 0
